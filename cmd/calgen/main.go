@@ -1,0 +1,112 @@
+// Command calgen generates a synthetic device characterization archive
+// (the stand-in for the paper's 52-day IBM-Q20 scrape) and writes it as
+// CSV or prints summary statistics.
+//
+// Usage:
+//
+//	calgen -device q20 -seed 7 -summary
+//	calgen -device q20 -format csv > archive.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"vaq/internal/calib"
+)
+
+func main() {
+	var (
+		deviceN = flag.String("device", "q20", "device model: q20 or q5")
+		seed    = flag.Int64("seed", 2019, "generator seed")
+		days    = flag.Int("days", 0, "override number of observation days")
+		format  = flag.String("format", "summary", "output: summary, csv or json (json is loadable by nisqc -calib)")
+	)
+	flag.Parse()
+
+	if err := run(*deviceN, *seed, *days, *format); err != nil {
+		fmt.Fprintln(os.Stderr, "calgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(deviceN string, seed int64, days int, format string) error {
+	var cfg calib.GenConfig
+	switch deviceN {
+	case "q20":
+		cfg = calib.DefaultQ20Config(seed)
+	case "q5":
+		cfg = calib.DefaultQ5Config(seed)
+	default:
+		return fmt.Errorf("unknown device %q", deviceN)
+	}
+	if days > 0 {
+		cfg.Days = days
+	}
+	arch := calib.Generate(cfg)
+
+	switch format {
+	case "summary":
+		return printSummary(arch)
+	case "csv":
+		return writeCSV(arch)
+	case "json":
+		return arch.WriteJSON(os.Stdout)
+	default:
+		return fmt.Errorf("unknown format %q (want summary, csv or json)", format)
+	}
+}
+
+func printSummary(arch *calib.Archive) error {
+	link := calib.Summarize(arch.ArchiveLinkRates())
+	one := calib.Summarize(arch.ArchiveOneQubitRates())
+	t1 := calib.Summarize(arch.ArchiveT1s())
+	t2 := calib.Summarize(arch.ArchiveT2s())
+	mean := arch.Mean()
+	strongest, sErr := mean.StrongestLink()
+	weakest, wErr := mean.WeakestLink()
+
+	fmt.Printf("device    %s: %d qubits, %d links, %d snapshots over %d days\n",
+		arch.Topo.Name, arch.Topo.NumQubits, arch.Topo.NumLinks(), len(arch.Snapshots), arch.Days())
+	fmt.Printf("2Q error  mean %.4f  std %.4f  range [%.4f, %.4f]\n", link.Mean, link.Std, link.Min, link.Max)
+	fmt.Printf("1Q error  mean %.5f  std %.5f  max %.5f\n", one.Mean, one.Std, one.Max)
+	fmt.Printf("T1        mean %.2fµs std %.2fµs\n", t1.Mean, t1.Std)
+	fmt.Printf("T2        mean %.2fµs std %.2fµs\n", t2.Mean, t2.Std)
+	fmt.Printf("strongest mean link Q%d-Q%d at %.4f\n", strongest.A, strongest.B, sErr)
+	fmt.Printf("weakest   mean link Q%d-Q%d at %.4f (spread %.1fx)\n", weakest.A, weakest.B, wErr, wErr/sErr)
+	return nil
+}
+
+func writeCSV(arch *calib.Archive) error {
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+	if err := w.Write([]string{"cycle", "day", "kind", "a", "b", "value"}); err != nil {
+		return err
+	}
+	for _, s := range arch.Snapshots {
+		cy, day := strconv.Itoa(s.Cycle), strconv.Itoa(s.Day)
+		for _, c := range arch.Topo.Couplings {
+			if err := w.Write([]string{cy, day, "cx_error", strconv.Itoa(c.A), strconv.Itoa(c.B),
+				fmt.Sprintf("%.6f", s.TwoQubit[c])}); err != nil {
+				return err
+			}
+		}
+		for q := 0; q < arch.Topo.NumQubits; q++ {
+			rows := [][3]string{
+				{"u_error", strconv.Itoa(q), fmt.Sprintf("%.6f", s.OneQubit[q])},
+				{"readout_error", strconv.Itoa(q), fmt.Sprintf("%.6f", s.Readout[q])},
+				{"t1_us", strconv.Itoa(q), fmt.Sprintf("%.3f", s.T1Us[q])},
+				{"t2_us", strconv.Itoa(q), fmt.Sprintf("%.3f", s.T2Us[q])},
+			}
+			for _, r := range rows {
+				if err := w.Write([]string{cy, day, r[0], r[1], "", r[2]}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

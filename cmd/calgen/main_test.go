@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestRunModes(t *testing.T) {
+	for _, tc := range []struct {
+		device, format string
+		days           int
+	}{
+		{"q20", "summary", 0},
+		{"q20", "csv", 2},
+		{"q20", "json", 1},
+		{"q5", "summary", 0},
+	} {
+		if err := run(tc.device, 1, tc.days, tc.format); err != nil {
+			t.Errorf("run(%s,%s): %v", tc.device, tc.format, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("bogus", 1, 0, "summary"); err == nil {
+		t.Error("bogus device accepted")
+	}
+	if err := run("q20", 1, 0, "bogus"); err == nil {
+		t.Error("bogus format accepted")
+	}
+}

@@ -1,0 +1,204 @@
+// Command nisqc compiles a NISQ program onto a simulated IBM machine under
+// one of the paper's policies and reports SWAP counts, depth, duration,
+// and reliability (analytic PST plus a Monte-Carlo cross-check).
+//
+// Usage:
+//
+//	nisqc -workload bv-16 -policy vqa+vqm
+//	nisqc -qasm program.qasm -device q5 -policy baseline -verbose
+//
+// Workload names: alu, bv-N, qft-N, rnd-SD, rnd-LD, ghz-N, triswap.
+// Policies: native, baseline, vqm, vqm-hop, vqa+vqm.
+// Devices: q20 (IBM-Q20 model, default), q5 (IBM-Q5 model).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"vaq/internal/calib"
+	"vaq/internal/circuit"
+	"vaq/internal/core"
+	"vaq/internal/device"
+	"vaq/internal/qasm"
+	"vaq/internal/schedule"
+	"vaq/internal/sim"
+	"vaq/internal/trials"
+	"vaq/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "built-in workload name (e.g. bv-16, qft-12, alu)")
+		qasmPath = flag.String("qasm", "", "path to an OpenQASM 2.0 program (alternative to -workload)")
+		policyN  = flag.String("policy", "vqa+vqm", "compilation policy: native, baseline, vqm, vqm-hop, vqa+vqm")
+		deviceN  = flag.String("device", "q20", "device model: q20, q16 or q5")
+		calibP   = flag.String("calib", "", "load the device from a calgen-produced JSON archive (mean snapshot) instead of -device")
+		seed     = flag.Int64("seed", 2019, "seed for the synthetic calibration archive")
+		trials   = flag.Int("trials", 100000, "Monte-Carlo trials")
+		verbose  = flag.Bool("verbose", false, "print the compiled physical circuit as QASM")
+		outcomes = flag.Bool("outcomes", false, "run the iterative execution model and print the output log analysis (Clifford programs only)")
+		optimize = flag.Bool("O", false, "run the transpile optimizer (inverse cancellation, rotation merging) before mapping")
+		timeline = flag.Bool("timeline", false, "print the ASAP schedule as an ASCII Gantt chart")
+	)
+	flag.Parse()
+
+	if *timeline {
+		timelineRequested = true
+	}
+	if err := run(*workload, *qasmPath, *policyN, *deviceN, *calibP, *seed, *trials, *verbose, *outcomes, *optimize); err != nil {
+		fmt.Fprintln(os.Stderr, "nisqc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workload, qasmPath, policyName, deviceName, calibPath string, seed int64, mcTrials int, verbose, outcomes, optimize bool) error {
+	prog, err := loadProgram(workload, qasmPath)
+	if err != nil {
+		return err
+	}
+
+	var d *device.Device
+	if calibPath != "" {
+		f, err := os.Open(calibPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		arch, err := calib.ReadJSON(f)
+		if err != nil {
+			return err
+		}
+		d, err = device.New(arch.Topo, arch.Mean())
+		if err != nil {
+			return err
+		}
+		return compileAndReport(d, prog, policyName, seed, mcTrials, verbose, outcomes, optimize)
+	}
+	switch deviceName {
+	case "q20":
+		arch := calib.Generate(calib.DefaultQ20Config(seed))
+		d = device.MustNew(arch.Topo, arch.Mean())
+	case "q16":
+		arch := calib.Generate(calib.DefaultQ16Config(seed))
+		d = device.MustNew(arch.Topo, arch.Mean())
+	case "q5":
+		s := calib.TenerifeSnapshot()
+		d = device.MustNew(s.Topo, s)
+	default:
+		return fmt.Errorf("unknown device %q (want q20, q16 or q5)", deviceName)
+	}
+	return compileAndReport(d, prog, policyName, seed, mcTrials, verbose, outcomes, optimize)
+}
+
+// timelineRequested mirrors the -timeline flag (kept package-level so the
+// testable run() signature stays stable).
+var timelineRequested bool
+
+// compileAndReport is the back half of the pipeline once a device model
+// exists: compile, verify, simulate, print.
+func compileAndReport(d *device.Device, prog *circuit.Circuit, policyName string, seed int64, mcTrials int, verbose, outcomes, optimize bool) error {
+	policy, ok := core.PolicyByName(policyName)
+	if !ok {
+		return fmt.Errorf("unknown policy %q", policyName)
+	}
+
+	comp, err := core.Compile(d, prog, core.Options{Policy: policy, Seed: seed, Optimize: optimize})
+	if err != nil {
+		return err
+	}
+	if err := comp.Verify(d); err != nil {
+		return fmt.Errorf("internal error: compiled program failed verification: %w", err)
+	}
+
+	in := prog.Stats()
+	out := comp.Routed.Physical.Stats()
+	scfg := sim.Config{Trials: mcTrials, Seed: seed}
+	mc := sim.Run(d, comp.Routed.Physical, scfg)
+	analytic := sim.AnalyticPST(d, comp.Routed.Physical, scfg)
+	breakdown := sim.AnalyticBreakdown(d, comp.Routed.Physical, scfg)
+
+	fmt.Printf("program     %s (%d qubits, %d instructions, depth %d)\n", prog.Name, prog.NumQubits, in.Total, in.Depth)
+	fmt.Printf("device      %s (%d qubits, %d links)\n", d.Topology().Name, d.NumQubits(), d.Topology().NumLinks())
+	fmt.Printf("policy      %s (alloc %s, route %s)\n", comp.Policy, comp.Allocator, comp.Router)
+	fmt.Printf("mapping     initial %v\n", comp.Routed.Initial)
+	fmt.Printf("swaps       %d inserted (physical: %d instructions, %d CNOTs, depth %d)\n",
+		comp.Swaps(), out.Total, out.CNOTs, out.Depth)
+	fmt.Printf("duration    %v per trial\n", comp.Routed.Physical.Duration())
+	fmt.Printf("PST         %.4f analytic, %.4f ± %.4f Monte-Carlo (%d trials)\n",
+		analytic, mc.PST, mc.StdErr, mc.Trials)
+	fmt.Printf("hazards     gate %.3f, readout %.3f, coherence %.3f\n",
+		breakdown.Gate, breakdown.Readout, breakdown.Coherence)
+	if timelineRequested {
+		fmt.Println("\n-- ASAP schedule (u=1q, C=2q, S=swap, M=measure; 100ns/column) --")
+		fmt.Print(schedule.ASAP(comp.Routed.Physical).Timeline(100*time.Nanosecond, 120))
+	}
+	if outcomes {
+		res, err := trials.Run(d, comp.Routed.Physical, trials.Config{Trials: 4096, Seed: seed})
+		if err != nil {
+			return fmt.Errorf("outcome simulation: %w", err)
+		}
+		fmt.Println("\n-- iterative execution model (4096 trials) --")
+		fmt.Print(res.Summary())
+	}
+	if verbose {
+		fmt.Println("\n-- compiled physical circuit --")
+		fmt.Print(qasm.Serialize(comp.Routed.Physical))
+	}
+	return nil
+}
+
+func loadProgram(workload, qasmPath string) (*circuit.Circuit, error) {
+	switch {
+	case workload != "" && qasmPath != "":
+		return nil, fmt.Errorf("specify either -workload or -qasm, not both")
+	case qasmPath != "":
+		src, err := os.ReadFile(qasmPath)
+		if err != nil {
+			return nil, err
+		}
+		return qasm.Parse(string(src))
+	case workload != "":
+		return builtin(workload)
+	default:
+		return nil, fmt.Errorf("specify -workload or -qasm (try -workload bv-16)")
+	}
+}
+
+func builtin(name string) (*circuit.Circuit, error) {
+	lower := strings.ToLower(name)
+	switch {
+	case lower == "alu":
+		return workloads.ALU(), nil
+	case lower == "triswap":
+		return workloads.TriSwap(), nil
+	case lower == "rnd-sd":
+		return workloads.RandSD(1), nil
+	case lower == "rnd-ld":
+		return workloads.RandLD(1), nil
+	case strings.HasPrefix(lower, "bv-"):
+		n, err := strconv.Atoi(lower[3:])
+		if err != nil {
+			return nil, fmt.Errorf("bad workload %q", name)
+		}
+		return workloads.BV(n), nil
+	case strings.HasPrefix(lower, "qft-"):
+		n, err := strconv.Atoi(lower[4:])
+		if err != nil {
+			return nil, fmt.Errorf("bad workload %q", name)
+		}
+		return workloads.QFT(n), nil
+	case strings.HasPrefix(lower, "ghz-"):
+		n, err := strconv.Atoi(lower[4:])
+		if err != nil {
+			return nil, fmt.Errorf("bad workload %q", name)
+		}
+		return workloads.GHZ(n), nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+}

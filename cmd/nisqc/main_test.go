@@ -1,0 +1,120 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"vaq/internal/calib"
+)
+
+func TestBuiltinWorkloads(t *testing.T) {
+	cases := map[string]int{
+		"alu": 10, "bv-16": 16, "qft-8": 8, "ghz-4": 4,
+		"triswap": 3, "rnd-SD": 20, "rnd-LD": 20, "BV-5": 5, // case-insensitive
+	}
+	for name, qubits := range cases {
+		c, err := builtin(name)
+		if err != nil {
+			t.Errorf("builtin(%q): %v", name, err)
+			continue
+		}
+		if c.NumQubits != qubits {
+			t.Errorf("builtin(%q) qubits = %d, want %d", name, c.NumQubits, qubits)
+		}
+	}
+	for _, bad := range []string{"", "nope", "bv-", "qft-x", "ghz-"} {
+		if _, err := builtin(bad); err == nil {
+			t.Errorf("builtin(%q) accepted", bad)
+		}
+	}
+}
+
+func TestLoadProgramModes(t *testing.T) {
+	if _, err := loadProgram("", ""); err == nil {
+		t.Error("empty args accepted")
+	}
+	if _, err := loadProgram("bv-4", "file.qasm"); err == nil {
+		t.Error("both workload and qasm accepted")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.qasm")
+	src := "OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\nh q[0];\ncx q[0],q[1];\nmeasure q[0] -> c[0];\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := loadProgram("", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits != 2 || len(c.Gates) != 3 {
+		t.Fatalf("parsed program wrong: %d qubits, %d gates", c.NumQubits, len(c.Gates))
+	}
+	if _, err := loadProgram("", filepath.Join(dir, "missing.qasm")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	// Full pipeline through every device and a Clifford outcome run.
+	for _, dev := range []string{"q20", "q16", "q5"} {
+		if err := run("triswap", "", "vqa+vqm", dev, "", 1, 2000, false, false, false); err != nil {
+			t.Errorf("triswap on %s: %v", dev, err)
+		}
+		if err := run("ghz-3", "", "vqa+vqm", dev, "", 1, 5000, false, true, true); err != nil {
+			t.Errorf("run on %s: %v", dev, err)
+		}
+	}
+	if err := run("qft-6", "", "baseline", "q20", "", 1, 5000, true, false, true); err != nil {
+		t.Errorf("qft run: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("bv-4", "", "bogus", "q20", "", 1, 100, false, false, false); err == nil {
+		t.Error("bogus policy accepted")
+	}
+	if err := run("bv-4", "", "baseline", "bogus", "", 1, 100, false, false, false); err == nil {
+		t.Error("bogus device accepted")
+	}
+	if err := run("bv-12", "", "baseline", "q5", "", 1, 100, false, false, false); err == nil {
+		t.Error("12-qubit program on q5 accepted")
+	}
+	// Outcome mode on a non-Clifford program must fail cleanly.
+	if err := run("qft-4", "", "baseline", "q20", "", 1, 100, false, true, false); err == nil {
+		t.Error("outcome mode accepted non-Clifford program")
+	}
+}
+
+func TestRunWithCalibArchive(t *testing.T) {
+	// calgen json → nisqc -calib round trip through the filesystem.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "arch.json")
+	arch := calib.Generate(calib.DefaultQ5Config(4))
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := arch.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run("ghz-3", "", "vqa+vqm", "", path, 1, 2000, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("ghz-3", "", "baseline", "", filepath.Join(dir, "missing.json"), 1, 100, false, false, false); err == nil {
+		t.Fatal("missing calib file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{"), 0o644)
+	if err := run("ghz-3", "", "baseline", "", bad, 1, 100, false, false, false); err == nil {
+		t.Fatal("corrupt calib file accepted")
+	}
+}
+
+func TestTimelineFlag(t *testing.T) {
+	timelineRequested = true
+	defer func() { timelineRequested = false }()
+	if err := run("ghz-3", "", "baseline", "q5", "", 1, 1000, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+}

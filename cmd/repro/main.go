@@ -1,0 +1,228 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation and prints them in order. Use -experiment to run one, -full
+// for the paper's 1M-trial budget, -seed to vary the synthetic
+// characterization archive, and -format csv/json for machine-readable
+// output.
+//
+// Usage:
+//
+//	repro [-experiment all|fig5|fig6|fig7|fig8|fig9|table1|fig12|fig13|fig14|table2|table3|fig16]
+//	      [-seed N] [-trials N] [-full] [-format text|csv|json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vaq/internal/experiments"
+	"vaq/internal/report"
+)
+
+func main() {
+	var (
+		which  = flag.String("experiment", "all", "experiment to run (all, fig5..fig16, table1..table3)")
+		seed   = flag.Int64("seed", 2019, "seed for the synthetic characterization archive")
+		trials = flag.Int("trials", 200000, "Monte-Carlo trials per PST estimate")
+		full   = flag.Bool("full", false, "use the paper's budgets (1M trials, 32 native configs)")
+		format = flag.String("format", "text", "output format: text (tables+charts), csv, json")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed, Trials: *trials}
+	if *full {
+		cfg.Trials = 1000000
+		cfg.NativeConfigs = 32
+		cfg.NativeTrials = 10000
+		cfg.Q5Trials = 4096
+	}
+
+	if err := runFormat(*which, cfg, *format); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}
+
+// run keeps the text-mode entry point used by tests.
+func run(which string, cfg experiments.Config) error { return runFormat(which, cfg, "text") }
+
+// rendering is one experiment's output: the paper-style table plus an
+// optional ASCII chart for text mode.
+type rendering struct {
+	table experiments.Table
+	chart string
+}
+
+func runFormat(which string, cfg experiments.Config, format string) error {
+	switch format {
+	case "text", "csv", "json":
+	default:
+		return fmt.Errorf("unknown format %q (want text, csv or json)", format)
+	}
+
+	type experiment struct {
+		name string
+		fn   func(experiments.Config) (rendering, error)
+	}
+	all := []experiment{
+		{"fig5", func(c experiments.Config) (rendering, error) {
+			return rendering{table: experiments.Fig5CoherenceDistributions(c).Table()}, nil
+		}},
+		{"fig6", func(c experiments.Config) (rendering, error) {
+			return rendering{table: experiments.Fig6SingleQubitErrors(c).Table()}, nil
+		}},
+		{"fig7", func(c experiments.Config) (rendering, error) {
+			return rendering{table: experiments.Fig7TwoQubitErrors(c).Table()}, nil
+		}},
+		{"fig8", func(c experiments.Config) (rendering, error) {
+			r := experiments.Fig8TemporalVariation(c)
+			chart := ""
+			for _, l := range r.Links {
+				chart += fmt.Sprintf("%-8s %s\n", l.Name, report.Sparkline(l.Series))
+			}
+			return rendering{table: r.Table(), chart: chart}, nil
+		}},
+		{"fig9", func(c experiments.Config) (rendering, error) {
+			r := experiments.Fig9SpatialVariation(c)
+			return rendering{table: r.Table(), chart: r.Layout()}, nil
+		}},
+		{"table1", func(c experiments.Config) (rendering, error) {
+			rows, err := experiments.Table1Benchmarks(c)
+			if err != nil {
+				return rendering{}, err
+			}
+			return rendering{table: experiments.Table1Table(rows)}, nil
+		}},
+		{"fig12", func(c experiments.Config) (rendering, error) {
+			rows, err := experiments.Fig12VQM(c)
+			if err != nil {
+				return rendering{}, err
+			}
+			labels := make([]string, len(rows))
+			vals := make([]float64, len(rows))
+			for i, r := range rows {
+				labels[i], vals[i] = r.Name, r.RelVQM
+			}
+			chart := report.Bars("relative PST, VQM vs baseline (| = 1.0x)", labels, vals, 50, 1)
+			return rendering{table: experiments.Fig12Table(rows), chart: chart}, nil
+		}},
+		{"fig13", func(c experiments.Config) (rendering, error) {
+			rows, err := experiments.Fig13Policies(c)
+			if err != nil {
+				return rendering{}, err
+			}
+			labels := make([]string, len(rows))
+			vals := make([]float64, len(rows))
+			for i, r := range rows {
+				labels[i], vals[i] = r.Name, r.RelVQAVQM
+			}
+			chart := report.Bars("relative PST, VQA+VQM vs baseline (| = 1.0x)", labels, vals, 50, 1)
+			return rendering{table: experiments.Fig13Table(rows), chart: chart}, nil
+		}},
+		{"fig14", func(c experiments.Config) (rendering, error) {
+			res, err := experiments.Fig14PerDay(c)
+			if err != nil {
+				return rendering{}, err
+			}
+			series := make([]float64, len(res.Points))
+			for i, p := range res.Points {
+				series[i] = p.Relative
+			}
+			chart := "per-day relative PST (day 1 → 52): " + report.Sparkline(series) + "\n"
+			return rendering{table: experiments.Fig14Table(res), chart: chart}, nil
+		}},
+		{"table2", func(c experiments.Config) (rendering, error) {
+			rows, err := experiments.Table2ErrorScaling(c)
+			if err != nil {
+				return rendering{}, err
+			}
+			return rendering{table: experiments.Table2Table(rows)}, nil
+		}},
+		{"table3", func(c experiments.Config) (rendering, error) {
+			res, err := experiments.Table3IBMQ5(c)
+			if err != nil {
+				return rendering{}, err
+			}
+			return rendering{table: experiments.Table3Table(res)}, nil
+		}},
+		{"fig16", func(c experiments.Config) (rendering, error) {
+			rows, err := experiments.Fig16Partitioning(c)
+			if err != nil {
+				return rendering{}, err
+			}
+			labels := make([]string, len(rows))
+			vals := make([]float64, len(rows))
+			for i, r := range rows {
+				labels[i], vals[i] = r.Name, r.OneStrongNorm
+			}
+			chart := report.Bars("one-strong-copy STPT, normalized to two copies (| = parity)", labels, vals, 50, 1)
+			return rendering{table: experiments.Fig16Table(rows), chart: chart}, nil
+		}},
+		{"ext-mah", func(c experiments.Config) (rendering, error) {
+			rows, err := experiments.ExtMAHSweep(c)
+			if err != nil {
+				return rendering{}, err
+			}
+			return rendering{table: experiments.ExtMAHTable(rows)}, nil
+		}},
+		{"ext-readout", func(c experiments.Config) (rendering, error) {
+			rows, err := experiments.ExtReadoutAware(c)
+			if err != nil {
+				return rendering{}, err
+			}
+			return rendering{table: experiments.ExtReadoutTable(rows)}, nil
+		}},
+		{"ext-optimizer", func(c experiments.Config) (rendering, error) {
+			rows, err := experiments.ExtOptimizer(c)
+			if err != nil {
+				return rendering{}, err
+			}
+			return rendering{table: experiments.ExtOptimizerTable(rows)}, nil
+		}},
+		{"ext-topology", func(c experiments.Config) (rendering, error) {
+			rows, err := experiments.ExtTopology(c)
+			if err != nil {
+				return rendering{}, err
+			}
+			return rendering{table: experiments.ExtTopologyTable(rows)}, nil
+		}},
+		{"ext-qv", func(c experiments.Config) (rendering, error) {
+			res, err := experiments.ExtQuantumVolume(c)
+			if err != nil {
+				return rendering{}, err
+			}
+			return rendering{table: experiments.ExtQVTable(res)}, nil
+		}},
+	}
+
+	ran := false
+	for _, e := range all {
+		if which != "all" && which != e.name {
+			continue
+		}
+		ran = true
+		r, err := e.fn(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		switch format {
+		case "text":
+			fmt.Println(r.table.String())
+			if r.chart != "" {
+				fmt.Println(r.chart)
+			}
+		case "csv":
+			if err := report.WriteCSV(os.Stdout, r.table.Header, r.table.Rows); err != nil {
+				return err
+			}
+		case "json":
+			if err := report.WriteJSON(os.Stdout, r.table); err != nil {
+				return err
+			}
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", which)
+	}
+	return nil
+}

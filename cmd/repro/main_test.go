@@ -1,0 +1,43 @@
+package main
+
+import (
+	"testing"
+
+	"vaq/internal/experiments"
+)
+
+func fastCfg() experiments.Config {
+	return experiments.Config{
+		Seed:          2019,
+		Trials:        20000,
+		NativeConfigs: 3,
+		NativeTrials:  2000,
+		Q5Trials:      2048,
+	}
+}
+
+func TestRunSingleExperiments(t *testing.T) {
+	// The cheap experiments run end to end through the CLI path.
+	for _, name := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "table1", "table2", "table3"} {
+		if err := run(name, fastCfg()); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("fig99", fastCfg()); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunFormats(t *testing.T) {
+	for _, format := range []string{"text", "csv", "json"} {
+		if err := runFormat("fig9", fastCfg(), format); err != nil {
+			t.Errorf("format %s: %v", format, err)
+		}
+	}
+	if err := runFormat("fig9", fastCfg(), "yaml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

@@ -1,0 +1,46 @@
+// Bernstein–Vazirani deep dive: the paper's flagship workload, compiled
+// under every policy on the IBM-Q20 model, with the mapping decisions and
+// failure-hazard breakdown made visible.
+//
+// Run with: go run ./examples/bernstein_vazirani
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vaq/internal/calib"
+	"vaq/internal/core"
+	"vaq/internal/device"
+	"vaq/internal/sim"
+	"vaq/internal/workloads"
+)
+
+func main() {
+	prog := workloads.BV(16)
+	fmt.Printf("workload %s: %d qubits, %d instructions — the ancilla entangles with every data qubit\n\n",
+		prog.Name, prog.NumQubits, prog.Stats().Total)
+
+	arch := calib.Generate(calib.DefaultQ20Config(2019))
+	dev := device.MustNew(arch.Topo, arch.Mean())
+
+	fmt.Printf("%-10s %6s %6s %9s %9s %9s %8s\n",
+		"policy", "swaps", "depth", "gate-haz", "read-haz", "coh-haz", "PST")
+	for _, policy := range core.AllPolicies() {
+		comp, err := core.Compile(dev, prog, core.Options{Policy: policy, Seed: 3})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := comp.Verify(dev); err != nil {
+			log.Fatalf("%s: compiled program failed verification: %v", policy, err)
+		}
+		phys := comp.Routed.Physical
+		bd := sim.AnalyticBreakdown(dev, phys, sim.Config{})
+		out := sim.Run(dev, phys, sim.Config{Trials: 200000, Seed: 11})
+		fmt.Printf("%-10s %6d %6d %9.3f %9.3f %9.3f %8.4f\n",
+			policy, comp.Swaps(), phys.Stats().Depth, bd.Gate, bd.Readout, bd.Coherence, out.PST)
+	}
+
+	fmt.Println("\nThe star-shaped communication pattern concentrates traffic on the ancilla's links;")
+	fmt.Println("VQA places the ancilla on the strongest neighborhood, VQM routes around weak links.")
+}

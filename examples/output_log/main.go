@@ -1,0 +1,60 @@
+// Output log analysis: the paper's Figure 4 execution model, end to end.
+// A NISQ program is run thousands of times on the noisy machine; each
+// trial's measured bitstring goes into a log, and the correct answer is
+// inferred from the log even though most trials may be corrupted. This
+// example compiles bv-4 and GHZ-3 onto the IBM-Q5 model under the
+// baseline and VQA+VQM policies and compares the resulting logs.
+//
+// Run with: go run ./examples/output_log
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vaq/internal/calib"
+	"vaq/internal/core"
+	"vaq/internal/device"
+	"vaq/internal/trials"
+	"vaq/internal/workloads"
+)
+
+func main() {
+	snap := calib.TenerifeSnapshot()
+	dev := device.MustNew(snap.Topo, snap)
+	worstLink, worstErr := snap.WeakestLink()
+	fmt.Printf("machine %s: mean 2Q error %.1f%%, worst link %.0f%% (Q%d-Q%d)\n\n",
+		dev.Topology().Name, 100*mean(snap.LinkRates()), 100*worstErr, worstLink.A, worstLink.B)
+
+	for _, spec := range []struct{ name string }{{"bv-4"}, {"GHZ-3"}, {"TriSwap"}} {
+		var prog = workloads.BV(4)
+		switch spec.name {
+		case "GHZ-3":
+			prog = workloads.GHZ(3)
+		case "TriSwap":
+			prog = workloads.TriSwap()
+		}
+		fmt.Printf("== %s ==\n", spec.name)
+		for _, policy := range []core.Policy{core.Baseline, core.VQAVQM} {
+			comp, err := core.Compile(dev, prog, core.Options{Policy: policy})
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := trials.Run(dev, comp.Routed.Physical, trials.Config{Trials: 4096, Seed: 7})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("[%s]\n%s", policy, res.Summary())
+		}
+		fmt.Println()
+	}
+	fmt.Println("* marks outputs the noise-free program can produce; PST is their share of trials.")
+}
+
+func mean(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}

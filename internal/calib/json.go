@@ -1,0 +1,118 @@
+package calib
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"vaq/internal/topo"
+)
+
+// The wire format keeps snapshots self-describing: the topology travels
+// with the data, so a loaded archive can be validated and used without
+// out-of-band agreement on the machine.
+
+type jsonArchive struct {
+	Topology  jsonTopology   `json:"topology"`
+	Snapshots []jsonSnapshot `json:"snapshots"`
+}
+
+type jsonTopology struct {
+	Name      string   `json:"name"`
+	NumQubits int      `json:"num_qubits"`
+	Couplings [][2]int `json:"couplings"`
+}
+
+type jsonSnapshot struct {
+	Cycle    int       `json:"cycle"`
+	Day      int       `json:"day"`
+	TwoQubit []float64 `json:"two_qubit"` // coupling order
+	OneQubit []float64 `json:"one_qubit"`
+	Readout  []float64 `json:"readout"`
+	T1Us     []float64 `json:"t1_us"`
+	T2Us     []float64 `json:"t2_us"`
+}
+
+// WriteJSON serializes the archive.
+func (a *Archive) WriteJSON(w io.Writer) error {
+	out := jsonArchive{
+		Topology: jsonTopology{
+			Name:      a.Topo.Name,
+			NumQubits: a.Topo.NumQubits,
+		},
+	}
+	for _, c := range a.Topo.Couplings {
+		out.Topology.Couplings = append(out.Topology.Couplings, [2]int{c.A, c.B})
+	}
+	for _, s := range a.Snapshots {
+		js := jsonSnapshot{
+			Cycle:    s.Cycle,
+			Day:      s.Day,
+			TwoQubit: s.LinkRates(),
+			OneQubit: append([]float64(nil), s.OneQubit...),
+			Readout:  append([]float64(nil), s.Readout...),
+			T1Us:     append([]float64(nil), s.T1Us...),
+			T2Us:     append([]float64(nil), s.T2Us...),
+		}
+		out.Snapshots = append(out.Snapshots, js)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// ReadJSON deserializes an archive written by WriteJSON, rebuilding and
+// validating the topology and every snapshot.
+func ReadJSON(r io.Reader) (*Archive, error) {
+	var in jsonArchive
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("calib: decode archive: %w", err)
+	}
+	var couplings []topo.Coupling
+	for _, c := range in.Topology.Couplings {
+		couplings = append(couplings, topo.Coupling{A: c[0], B: c[1]})
+	}
+	t, err := topo.New(in.Topology.Name, in.Topology.NumQubits, couplings)
+	if err != nil {
+		return nil, fmt.Errorf("calib: archive topology: %w", err)
+	}
+	arch := &Archive{Topo: t}
+	for i, js := range in.Snapshots {
+		if len(js.TwoQubit) != len(t.Couplings) {
+			return nil, fmt.Errorf("calib: snapshot %d has %d link rates for %d couplings", i, len(js.TwoQubit), len(t.Couplings))
+		}
+		s := NewSnapshot(t)
+		s.Cycle, s.Day = js.Cycle, js.Day
+		for ci, c := range t.Couplings {
+			s.TwoQubit[c] = js.TwoQubit[ci]
+		}
+		if err := fill(s.OneQubit, js.OneQubit, "one_qubit", i); err != nil {
+			return nil, err
+		}
+		if err := fill(s.Readout, js.Readout, "readout", i); err != nil {
+			return nil, err
+		}
+		if err := fill(s.T1Us, js.T1Us, "t1_us", i); err != nil {
+			return nil, err
+		}
+		if err := fill(s.T2Us, js.T2Us, "t2_us", i); err != nil {
+			return nil, err
+		}
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("calib: snapshot %d: %w", i, err)
+		}
+		arch.Snapshots = append(arch.Snapshots, s)
+	}
+	if len(arch.Snapshots) == 0 {
+		return nil, fmt.Errorf("calib: archive has no snapshots")
+	}
+	return arch, nil
+}
+
+func fill(dst, src []float64, field string, snap int) error {
+	if len(src) != len(dst) {
+		return fmt.Errorf("calib: snapshot %d field %s has %d entries, want %d", snap, field, len(src), len(dst))
+	}
+	copy(dst, src)
+	return nil
+}

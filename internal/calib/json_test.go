@@ -1,0 +1,78 @@
+package calib
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := Generate(DefaultQ5Config(3))
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Topo.Name != orig.Topo.Name || back.Topo.NumQubits != orig.Topo.NumQubits {
+		t.Fatalf("topology mismatch: %s/%d", back.Topo.Name, back.Topo.NumQubits)
+	}
+	if len(back.Snapshots) != len(orig.Snapshots) {
+		t.Fatalf("snapshots = %d, want %d", len(back.Snapshots), len(orig.Snapshots))
+	}
+	for i := range orig.Snapshots {
+		a, b := orig.Snapshots[i], back.Snapshots[i]
+		if a.Cycle != b.Cycle || a.Day != b.Day {
+			t.Fatalf("snapshot %d metadata mismatch", i)
+		}
+		for _, c := range orig.Topo.Couplings {
+			if a.TwoQubit[c] != b.TwoQubit[c] {
+				t.Fatalf("snapshot %d link %v rate mismatch", i, c)
+			}
+		}
+		for q := range a.OneQubit {
+			if a.OneQubit[q] != b.OneQubit[q] || a.T1Us[q] != b.T1Us[q] {
+				t.Fatalf("snapshot %d qubit %d figures mismatch", i, q)
+			}
+		}
+	}
+}
+
+func TestJSONRoundTripQ20Archive(t *testing.T) {
+	orig := Generate(DefaultQ20Config(1))
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Means must agree exactly.
+	om, bm := orig.Mean(), back.Mean()
+	for _, c := range orig.Topo.Couplings {
+		if om.TwoQubit[c] != bm.TwoQubit[c] {
+			t.Fatalf("mean rate for %v differs after round trip", c)
+		}
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":       "{not json",
+		"no snapshots":  `{"topology":{"name":"t","num_qubits":2,"couplings":[[0,1]]},"snapshots":[]}`,
+		"bad topology":  `{"topology":{"name":"t","num_qubits":2,"couplings":[[0,5]]},"snapshots":[]}`,
+		"short links":   `{"topology":{"name":"t","num_qubits":2,"couplings":[[0,1]]},"snapshots":[{"two_qubit":[],"one_qubit":[0,0],"readout":[0,0],"t1_us":[1,1],"t2_us":[1,1]}]}`,
+		"short readout": `{"topology":{"name":"t","num_qubits":2,"couplings":[[0,1]]},"snapshots":[{"two_qubit":[0.1],"one_qubit":[0,0],"readout":[0],"t1_us":[1,1],"t2_us":[1,1]}]}`,
+		"invalid rates": `{"topology":{"name":"t","num_qubits":2,"couplings":[[0,1]]},"snapshots":[{"two_qubit":[7.5],"one_qubit":[0,0],"readout":[0,0],"t1_us":[1,1],"t2_us":[1,1]}]}`,
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadJSON(strings.NewReader(src)); err == nil {
+				t.Fatalf("ReadJSON accepted %s", name)
+			}
+		})
+	}
+}

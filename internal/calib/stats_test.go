@@ -1,0 +1,134 @@
+package calib
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(1.25)) > 1e-12 {
+		t.Fatalf("std = %v, want sqrt(1.25)", s.Std)
+	}
+	if s.Median != 2.5 {
+		t.Fatalf("median = %v, want 2.5", s.Median)
+	}
+	if s.SpreadFactor != 4 {
+		t.Fatalf("spread = %v, want 4", s.SpreadFactor)
+	}
+}
+
+func TestSummarizeOddMedian(t *testing.T) {
+	if s := Summarize([]float64{5, 1, 3}); s.Median != 3 {
+		t.Fatalf("median = %v, want 3", s.Median)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeZeroMinNoSpread(t *testing.T) {
+	if s := Summarize([]float64{0, 1}); s.SpreadFactor != 0 {
+		t.Fatalf("spread with zero min = %v, want 0 (undefined)", s.SpreadFactor)
+	}
+}
+
+func TestHistogramCoversAllSamples(t *testing.T) {
+	values := []float64{0, 0.1, 0.2, 0.5, 0.9, 1.0}
+	bins := Histogram(values, 5)
+	if len(bins) != 5 {
+		t.Fatalf("bins = %d, want 5", len(bins))
+	}
+	total := 0
+	fracTotal := 0.0
+	for _, b := range bins {
+		total += b.Count
+		fracTotal += b.Fraction
+	}
+	if total != len(values) {
+		t.Fatalf("histogram lost samples: %d of %d", total, len(values))
+	}
+	if math.Abs(fracTotal-1) > 1e-12 {
+		t.Fatalf("fractions sum to %v, want 1", fracTotal)
+	}
+	// Maximum value lands in the last bin, not out of range.
+	if bins[4].Count < 1 {
+		t.Fatal("max value not counted in final bin")
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	bins := Histogram([]float64{2, 2, 2}, 3)
+	total := 0
+	for _, b := range bins {
+		total += b.Count
+	}
+	if total != 3 {
+		t.Fatalf("degenerate histogram count = %d, want 3", total)
+	}
+}
+
+func TestHistogramEmptyInputs(t *testing.T) {
+	if Histogram(nil, 4) != nil {
+		t.Fatal("nil values should give nil histogram")
+	}
+	if Histogram([]float64{1}, 0) != nil {
+		t.Fatal("zero bins should give nil histogram")
+	}
+}
+
+func TestHistogramConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		values := make([]float64, n)
+		for i := range values {
+			values[i] = rng.NormFloat64()
+		}
+		bins := Histogram(values, 1+rng.Intn(20))
+		total := 0
+		for _, b := range bins {
+			total += b.Count
+			if b.Count < 0 {
+				return false
+			}
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarizeMatchesManualComputation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		values := make([]float64, n)
+		var sum float64
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range values {
+			values[i] = rng.Float64() * 10
+			sum += values[i]
+			if values[i] < lo {
+				lo = values[i]
+			}
+			if values[i] > hi {
+				hi = values[i]
+			}
+		}
+		s := Summarize(values)
+		return math.Abs(s.Mean-sum/float64(n)) < 1e-9 && s.Min == lo && s.Max == hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"vaq/internal/route"
+	"vaq/internal/workloads"
+)
+
+func TestCompiledVerifyCliffordAllPolicies(t *testing.T) {
+	// Quantum-state-level verification of the full pipeline: every policy
+	// must compile the Clifford benchmarks into circuits preparing the
+	// exact logical state (up to the tracked qubit permutation).
+	d := skewedQ20()
+	for _, w := range []string{"bv-10", "bv-16", "ghz-6"} {
+		var prog = workloads.BV(10)
+		switch w {
+		case "bv-16":
+			prog = workloads.BV(16)
+		case "ghz-6":
+			prog = workloads.GHZ(6)
+		}
+		for _, p := range AllPolicies() {
+			c, err := Compile(d, prog, Options{Policy: p, Seed: 3})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", w, p, err)
+			}
+			if err := c.VerifyClifford(d); err != nil {
+				t.Fatalf("%s/%v: %v", w, p, err)
+			}
+		}
+	}
+}
+
+func TestCompileOptimizeShrinksRedundantProgram(t *testing.T) {
+	d := skewedQ20()
+	// Append a redundant H pair; -O must remove exactly those two gates.
+	red := workloads.BV(8)
+	red.H(0)
+	red.H(0)
+	plain, err := Compile(d, red, Options{Policy: Baseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Compile(d, red, Options{Policy: Baseline, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := opt.Logical.Stats().Total, plain.Logical.Stats().Total-2; got != want {
+		t.Fatalf("optimized logical size = %d, want %d", got, want)
+	}
+	if err := opt.Verify(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := opt.VerifyClifford(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompiledVerifyCliffordRejectsNonClifford(t *testing.T) {
+	d := skewedQ20()
+	c, err := Compile(d, workloads.QFT(5), Options{Policy: Baseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.VerifyClifford(d); !errors.Is(err, route.ErrNotClifford) {
+		t.Fatalf("err = %v, want ErrNotClifford", err)
+	}
+}

@@ -1,0 +1,36 @@
+package core_test
+
+import (
+	"fmt"
+
+	"vaq/internal/calib"
+	"vaq/internal/circuit"
+	"vaq/internal/core"
+	"vaq/internal/device"
+	"vaq/internal/sim"
+)
+
+// Example compiles a GHZ program onto a simulated IBM-Q20 under the
+// paper's full proposal and estimates its reliability.
+func Example() {
+	// Machine model: synthetic 52-day characterization archive, averaged.
+	arch := calib.Generate(calib.DefaultQ20Config(2019))
+	dev := device.MustNew(arch.Topo, arch.Mean())
+
+	// A 4-qubit GHZ-state program over logical qubits.
+	prog := circuit.New("ghz-4", 4).H(0).CX(0, 1).CX(1, 2).CX(2, 3).MeasureAll()
+
+	// Variation-Aware Qubit Allocation + Movement.
+	comp, err := core.Compile(dev, prog, core.Options{Policy: core.VQAVQM})
+	if err != nil {
+		fmt.Println("compile:", err)
+		return
+	}
+	if err := comp.Verify(dev); err != nil {
+		fmt.Println("verify:", err)
+		return
+	}
+	pst := sim.AnalyticPST(dev, comp.Routed.Physical, sim.Config{})
+	fmt.Printf("policy=%s swaps=%d pst>0.5=%v\n", comp.Policy, comp.Swaps(), pst > 0.5)
+	// Output: policy=vqa+vqm swaps=0 pst>0.5=true
+}

@@ -1,0 +1,188 @@
+// Package device combines a coupling topology with one calibration
+// snapshot into the cost model every policy consumes: per-link CNOT and
+// SWAP success probabilities, the −log(success) edge weights that turn
+// "maximize route reliability" into a shortest-path problem, and the
+// distance matrices (hop-based for the baseline, reliability-based for
+// VQM) the mappers search over.
+package device
+
+import (
+	"fmt"
+	"math"
+
+	"vaq/internal/calib"
+	"vaq/internal/gate"
+	"vaq/internal/graphx"
+	"vaq/internal/topo"
+)
+
+// Device is an immutable pairing of a topology with a calibration
+// snapshot. Construct with New; the accessors lazily build and cache the
+// derived graphs and matrices, so a Device is cheap to create and the
+// expensive all-pairs computations happen at most once.
+type Device struct {
+	topo *topo.Topology
+	snap *calib.Snapshot
+
+	hopGraph  *graphx.Graph
+	costGraph *graphx.Graph
+	hopDist   [][]float64
+	costDist  [][]float64
+}
+
+// New validates the snapshot against the topology and returns a Device.
+func New(t *topo.Topology, s *calib.Snapshot) (*Device, error) {
+	if s.Topo != t {
+		return nil, fmt.Errorf("device: snapshot is for topology %q, not %q", s.Topo.Name, t.Name)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("device: %w", err)
+	}
+	return &Device{topo: t, snap: s}, nil
+}
+
+// MustNew is New for known-good inputs; it panics on error.
+func MustNew(t *topo.Topology, s *calib.Snapshot) *Device {
+	d, err := New(t, s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Topology returns the underlying coupling map.
+func (d *Device) Topology() *topo.Topology { return d.topo }
+
+// Snapshot returns the calibration snapshot the device was built from.
+func (d *Device) Snapshot() *calib.Snapshot { return d.snap }
+
+// NumQubits returns the number of physical qubits.
+func (d *Device) NumQubits() int { return d.topo.NumQubits }
+
+// CNOTSuccess returns the success probability of one CNOT across the a–b
+// coupling. It panics when a and b are not coupled.
+func (d *Device) CNOTSuccess(a, b int) float64 {
+	return 1 - d.snap.TwoQubitError(a, b)
+}
+
+// SwapSuccess returns the success probability of a SWAP across the a–b
+// coupling: three CNOTs back to back, (1−e)³.
+func (d *Device) SwapSuccess(a, b int) float64 {
+	p := d.CNOTSuccess(a, b)
+	return p * p * p
+}
+
+// SwapCost returns −ln(SwapSuccess(a,b)): the additive reliability cost of
+// one SWAP, the edge weight of VQM's search graph. Minimizing the sum of
+// these costs maximizes the product of success probabilities.
+func (d *Device) SwapCost(a, b int) float64 {
+	return -math.Log(d.SwapSuccess(a, b))
+}
+
+// OneQubitSuccess returns the success probability of a single-qubit gate
+// on physical qubit q.
+func (d *Device) OneQubitSuccess(q int) float64 { return 1 - d.snap.OneQubit[q] }
+
+// ReadoutSuccess returns the success probability of measuring qubit q.
+func (d *Device) ReadoutSuccess(q int) float64 { return 1 - d.snap.Readout[q] }
+
+// GateSuccess returns the success probability of applying kind k to the
+// physical qubits qs (already mapped). Two-qubit kinds require qs[0] and
+// qs[1] to be coupled.
+func (d *Device) GateSuccess(k gate.Kind, qs []int) float64 {
+	switch k.Class() {
+	case gate.NoError:
+		return 1
+	case gate.TwoQubit:
+		if k == gate.SWAP {
+			return d.SwapSuccess(qs[0], qs[1])
+		}
+		return d.CNOTSuccess(qs[0], qs[1])
+	case gate.Readout:
+		return d.ReadoutSuccess(qs[0])
+	default:
+		return d.OneQubitSuccess(qs[0])
+	}
+}
+
+// HopGraph returns the coupling graph with unit edge weights: the baseline
+// policy's view, where every SWAP costs the same.
+func (d *Device) HopGraph() *graphx.Graph {
+	if d.hopGraph == nil {
+		d.hopGraph = d.topo.Graph(1)
+	}
+	return d.hopGraph
+}
+
+// CostGraph returns the coupling graph weighted by SwapCost: VQM's view.
+func (d *Device) CostGraph() *graphx.Graph {
+	if d.costGraph == nil {
+		g := graphx.New(d.topo.NumQubits)
+		for _, c := range d.topo.Couplings {
+			g.AddEdge(c.A, c.B, d.SwapCost(c.A, c.B))
+		}
+		d.costGraph = g
+	}
+	return d.costGraph
+}
+
+// ReliabilityGraph returns the coupling graph weighted by CNOT success
+// probability — the node-strength view used by VQA (higher is better).
+func (d *Device) ReliabilityGraph() *graphx.Graph {
+	g := graphx.New(d.topo.NumQubits)
+	for _, c := range d.topo.Couplings {
+		g.AddEdge(c.A, c.B, d.CNOTSuccess(c.A, c.B))
+	}
+	return g
+}
+
+// HopDistance returns the minimum number of SWAP-capable hops between a
+// and b (the baseline's distance matrix entry).
+func (d *Device) HopDistance(a, b int) float64 {
+	if d.hopDist == nil {
+		d.hopDist = d.HopGraph().AllPairsHops()
+	}
+	return d.hopDist[a][b]
+}
+
+// CostDistance returns the minimum total SwapCost between a and b (VQM's
+// distance matrix entry, computed with Dijkstra as in Algorithm 1).
+func (d *Device) CostDistance(a, b int) float64 {
+	if d.costDist == nil {
+		d.costDist = d.CostGraph().AllPairsDijkstra()
+	}
+	return d.costDist[a][b]
+}
+
+// RouteSuccess converts an additive reliability cost back into a success
+// probability.
+func RouteSuccess(cost float64) float64 { return math.Exp(-cost) }
+
+// CoherenceDuty is the fraction of idle wall-clock time charged against
+// T1/T2 throughout the repository (see package sim for its calibration
+// against the paper's "gate errors are 16x more likely than coherence
+// errors" figure).
+const CoherenceDuty = 0.05
+
+// SwapOverheadCost returns the marginal decoherence hazard of extending
+// the schedule by one SWAP (three back-to-back CNOTs): every qubit inside
+// its active window idles for the extra duration and decays against its
+// T1/T2. The estimate charges half the machine's qubits (the average
+// occupancy of active windows). Adding this to the per-SWAP reliability
+// cost makes the router account for the time its detours cost — without
+// it, a deep circuit's layer-local detours compound into schedules whose
+// decoherence (and displacement) outweigh the per-route gains.
+func (d *Device) SwapOverheadCost() float64 {
+	rate := 0.0 // per-microsecond decay hazard summed over qubits
+	for q := 0; q < d.topo.NumQubits; q++ {
+		rate += 1/d.snap.T1Us[q] + 1/d.snap.T2Us[q]
+	}
+	swapUs := gate.DurationSwap.Seconds() * 1e6
+	return CoherenceDuty * swapUs * rate
+}
+
+// Scale returns a new Device whose gate/readout error rates are
+// transformed by calib.Snapshot.ScaleErrors — the Table 2 sensitivity knob.
+func (d *Device) Scale(meanFactor, covMultiplier float64) *Device {
+	return MustNew(d.topo, d.snap.ScaleErrors(meanFactor, covMultiplier))
+}

@@ -1,0 +1,63 @@
+package device
+
+import (
+	"fmt"
+	"sort"
+
+	"vaq/internal/calib"
+	"vaq/internal/topo"
+)
+
+// Restrict returns a sub-device over the given physical qubits (the
+// Section 8 partitioning primitive): the topology keeps only couplings
+// with both endpoints inside the set, qubits are re-indexed 0..k−1 in
+// ascending original order, and the calibration figures are carried over.
+// The returned slice maps new index → original physical qubit.
+func (d *Device) Restrict(qubits []int) (*Device, []int, error) {
+	if len(qubits) == 0 {
+		return nil, nil, fmt.Errorf("device: empty restriction")
+	}
+	orig := append([]int(nil), qubits...)
+	sort.Ints(orig)
+	newIndex := make(map[int]int, len(orig))
+	for i, q := range orig {
+		if q < 0 || q >= d.NumQubits() {
+			return nil, nil, fmt.Errorf("device: qubit %d out of range", q)
+		}
+		if _, dup := newIndex[q]; dup {
+			return nil, nil, fmt.Errorf("device: duplicate qubit %d in restriction", q)
+		}
+		newIndex[q] = i
+	}
+
+	var couplings []topo.Coupling
+	for _, c := range d.topo.Couplings {
+		a, okA := newIndex[c.A]
+		b, okB := newIndex[c.B]
+		if okA && okB {
+			couplings = append(couplings, topo.Coupling{A: a, B: b})
+		}
+	}
+	name := fmt.Sprintf("%s[%d]", d.topo.Name, len(orig))
+	sub, err := topo.New(name, len(orig), couplings)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	snap := calib.NewSnapshot(sub)
+	snap.Cycle, snap.Day = d.snap.Cycle, d.snap.Day
+	for _, c := range sub.Couplings {
+		snap.SetTwoQubitError(c.A, c.B, d.snap.TwoQubitError(orig[c.A], orig[c.B]))
+	}
+	for i, q := range orig {
+		snap.OneQubit[i] = d.snap.OneQubit[q]
+		snap.Readout[i] = d.snap.Readout[q]
+		snap.T1Us[i] = d.snap.T1Us[q]
+		snap.T2Us[i] = d.snap.T2Us[q]
+	}
+	restricted, err := New(sub, snap)
+	if err != nil {
+		return nil, nil, err
+	}
+	return restricted, orig, nil
+}

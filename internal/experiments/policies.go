@@ -1,0 +1,393 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"vaq/internal/calib"
+	"vaq/internal/core"
+	"vaq/internal/device"
+	"vaq/internal/metrics"
+	"vaq/internal/sim"
+	"vaq/internal/workloads"
+)
+
+// Table1Row is one benchmark's characteristics (paper Table 1).
+type Table1Row struct {
+	Name        string
+	Description string
+	Qubits      int
+	TotalInst   int
+	SwapInst    int // SWAPs inserted by the baseline compiler on IBM-Q20
+}
+
+// Table1Benchmarks reproduces Table 1: for each workload, its qubit count,
+// instruction count, and the SWAPs the baseline compiler inserts on the
+// IBM-Q20 model.
+func Table1Benchmarks(cfg Config) ([]Table1Row, error) {
+	cfg = cfg.withDefaults()
+	d := cfg.meanQ20()
+	var rows []Table1Row
+	for _, spec := range workloads.Table1Suite() {
+		comp, err := core.Compile(d, spec.Circuit, core.Options{Policy: core.Baseline})
+		if err != nil {
+			return nil, fmt.Errorf("table1 %s: %w", spec.Name, err)
+		}
+		rows = append(rows, Table1Row{
+			Name:        spec.Name,
+			Description: spec.Description,
+			Qubits:      spec.Circuit.NumQubits,
+			TotalInst:   spec.Circuit.Stats().Total,
+			SwapInst:    comp.Swaps(),
+		})
+	}
+	return rows, nil
+}
+
+// Table1Table renders Table 1.
+func Table1Table(rows []Table1Row) Table {
+	t := Table{
+		Title:   "Table 1: benchmark characteristics",
+		Header:  []string{"workload", "description", "qubits", "total inst", "swap inst"},
+		Caption: "paper swap counts: alu 19, bv-16 7, bv-20 10, qft-12 35, qft-14 53, rnd-SD 24, rnd-LD 35",
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Name, r.Description, fmt.Sprint(r.Qubits), fmt.Sprint(r.TotalInst), fmt.Sprint(r.SwapInst),
+		})
+	}
+	return t
+}
+
+// Fig12Row is one workload's relative PST under the movement policies.
+type Fig12Row struct {
+	Name        string
+	BaselinePST float64
+	RelVQM      float64 // VQM / baseline
+	RelVQMHop   float64 // hop-limited VQM (MAH=4) / baseline
+}
+
+// Fig12VQM reproduces Figure 12: the PST of Variation-Aware Qubit Movement
+// and its hop-limited variant, normalized to the SWAP-minimizing baseline,
+// over the seven Table 1 workloads on the IBM-Q20 model.
+func Fig12VQM(cfg Config) ([]Fig12Row, error) {
+	cfg = cfg.withDefaults()
+	d := cfg.meanQ20()
+	var rows []Fig12Row
+	for _, spec := range workloads.Table1Suite() {
+		base, _, err := pst(d, spec.Circuit, core.Baseline, cfg.Trials, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("fig12 %s: %w", spec.Name, err)
+		}
+		vqm, _, err := pst(d, spec.Circuit, core.VQM, cfg.Trials, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		hop, _, err := pst(d, spec.Circuit, core.VQMHop, cfg.Trials, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig12Row{
+			Name:        spec.Name,
+			BaselinePST: base,
+			RelVQM:      metrics.Relative(vqm, base),
+			RelVQMHop:   metrics.Relative(hop, base),
+		})
+	}
+	return rows, nil
+}
+
+// Fig12Table renders Figure 12.
+func Fig12Table(rows []Fig12Row) Table {
+	t := Table{
+		Title:   "Figure 12: relative PST of VQM (normalized to baseline)",
+		Header:  []string{"workload", "baseline PST", "VQM", "VQM (MAH=4)"},
+		Caption: "paper: all workloads improve; qft/rnd-LD gain most; hop-limited ≈ unlimited",
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r.Name, f3(r.BaselinePST), x2(r.RelVQM), x2(r.RelVQMHop)})
+	}
+	return t
+}
+
+// Fig13Row is one workload's relative PST across all policies.
+type Fig13Row struct {
+	Name        string
+	BaselinePST float64
+	// Native statistics over cfg.NativeConfigs random configurations,
+	// normalized to the baseline.
+	NativeAvg, NativeMin, NativeMax float64
+	RelVQM                          float64
+	RelVQAVQM                       float64
+}
+
+// Fig13Policies reproduces Figure 13: PST of the IBM-native-style
+// compiler (32 random configurations; avg and min–max), the baseline, VQM,
+// and VQA+VQM, normalized to the baseline.
+func Fig13Policies(cfg Config) ([]Fig13Row, error) {
+	cfg = cfg.withDefaults()
+	d := cfg.meanQ20()
+	var rows []Fig13Row
+	for _, spec := range workloads.Table1Suite() {
+		base, _, err := pst(d, spec.Circuit, core.Baseline, cfg.Trials, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("fig13 %s: %w", spec.Name, err)
+		}
+		vqm, _, err := pst(d, spec.Circuit, core.VQM, cfg.Trials, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		full, _, err := pst(d, spec.Circuit, core.VQAVQM, cfg.Trials, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		var natives []float64
+		for i := 0; i < cfg.NativeConfigs; i++ {
+			p, _, err := pst(d, spec.Circuit, core.Native, cfg.NativeTrials, cfg.Seed+int64(i))
+			if err != nil {
+				return nil, err
+			}
+			natives = append(natives, metrics.Relative(p, base))
+		}
+		lo, hi := metrics.MinMax(natives)
+		rows = append(rows, Fig13Row{
+			Name:        spec.Name,
+			BaselinePST: base,
+			NativeAvg:   metrics.Mean(natives),
+			NativeMin:   lo,
+			NativeMax:   hi,
+			RelVQM:      metrics.Relative(vqm, base),
+			RelVQAVQM:   metrics.Relative(full, base),
+		})
+	}
+	return rows, nil
+}
+
+// Fig13Table renders Figure 13.
+func Fig13Table(rows []Fig13Row) Table {
+	t := Table{
+		Title:   "Figure 13: relative PST by policy (normalized to baseline)",
+		Header:  []string{"workload", "native avg", "native min-max", "baseline", "VQM", "VQA+VQM"},
+		Caption: "paper: VQA+VQM up to 1.7x over baseline; baseline ≈4x over native",
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Name, x2(r.NativeAvg),
+			fmt.Sprintf("%.2f-%.2f", r.NativeMin, r.NativeMax),
+			"1.00x", x2(r.RelVQM), x2(r.RelVQAVQM),
+		})
+	}
+	return t
+}
+
+// Fig14Point is one day's relative PST for bv-16.
+type Fig14Point struct {
+	Day         int
+	BaselinePST float64
+	VQAVQMPST   float64
+	Relative    float64
+	// LinkErrorCoV is the day's coefficient of variation of link errors —
+	// the paper's "high variation days see higher benefit" x-axis proxy.
+	LinkErrorCoV float64
+}
+
+// Fig14Result holds the 52-day series and its average.
+type Fig14Result struct {
+	Points  []Fig14Point
+	Average float64
+}
+
+// Fig14PerDay reproduces Figure 14: the relative PST improvement of
+// VQA+VQM for bv-16 recompiled against each day's characterization data.
+func Fig14PerDay(cfg Config) (Fig14Result, error) {
+	cfg = cfg.withDefaults()
+	arch := cfg.archive()
+	prog := workloads.BV(16)
+	trials := cfg.Trials / 4
+	if trials < 20000 {
+		trials = 20000
+	}
+	var res Fig14Result
+	for day := 0; day < arch.Days(); day++ {
+		snaps := arch.DaySnapshots(day)
+		if len(snaps) == 0 {
+			continue
+		}
+		d, err := device.New(arch.Topo, snaps[0])
+		if err != nil {
+			return res, err
+		}
+		base, _, err := pst(d, prog, core.Baseline, trials, cfg.Seed+int64(day))
+		if err != nil {
+			return res, fmt.Errorf("fig14 day %d: %w", day, err)
+		}
+		full, _, err := pst(d, prog, core.VQAVQM, trials, cfg.Seed+int64(day))
+		if err != nil {
+			return res, err
+		}
+		sum := summaryOfLinkRates(snaps[0].LinkRates())
+		res.Points = append(res.Points, Fig14Point{
+			Day:          day,
+			BaselinePST:  base,
+			VQAVQMPST:    full,
+			Relative:     metrics.Relative(full, base),
+			LinkErrorCoV: sum,
+		})
+	}
+	rels := make([]float64, len(res.Points))
+	for i, p := range res.Points {
+		rels[i] = p.Relative
+	}
+	res.Average = metrics.Mean(rels)
+	return res, nil
+}
+
+func summaryOfLinkRates(rates []float64) float64 {
+	m := metrics.Mean(rates)
+	if m == 0 {
+		return 0
+	}
+	varSum := 0.0
+	for _, r := range rates {
+		d := r - m
+		varSum += d * d
+	}
+	return math.Sqrt(varSum/float64(len(rates))) / m
+}
+
+// Fig14Table renders the Figure 14 summary (first/last days plus the
+// average; full series in the result).
+func Fig14Table(r Fig14Result) Table {
+	t := Table{
+		Title:   "Figure 14: per-day relative PST of VQA+VQM for bv-16",
+		Header:  []string{"day", "baseline PST", "VQA+VQM PST", "relative", "link-error CoV"},
+		Caption: fmt.Sprintf("average benefit across %d days: %.2fx (paper: benefit tracks daily variation)", len(r.Points), r.Average),
+	}
+	for _, p := range r.Points {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(p.Day + 1), f3(p.BaselinePST), f3(p.VQAVQMPST), x2(p.Relative), f2(p.LinkErrorCoV),
+		})
+	}
+	return t
+}
+
+// Table2Row is one error-scaling configuration (paper Table 2).
+type Table2Row struct {
+	Label      string
+	MeanFactor float64
+	CovFactor  float64
+	Relative   float64
+}
+
+// Table2ErrorScaling reproduces Table 2: the relative PST benefit of
+// VQA+VQM for bv-16 as error rates scale down 10× with the base and
+// doubled coefficient of variation.
+//
+// Methodology notes: (1) coherence errors are not part of the scaled
+// error population (the paper scales gate error rates), so they are
+// disabled — otherwise the unscaled decoherence floor dominates once gate
+// errors drop 10x; (2) PSTs are computed analytically because at
+// 10x-lower errors the policies differ by fractions of a percent, far
+// below Monte-Carlo resolution at any practical trial budget; (3) each
+// row is the geometric mean over several archive seeds, because a single
+// archive realization does not expose the variation trend.
+func Table2ErrorScaling(cfg Config) ([]Table2Row, error) {
+	cfg = cfg.withDefaults()
+	prog := workloads.BV(16)
+	configs := []Table2Row{
+		{Label: "1x, Cov-Base", MeanFactor: 1, CovFactor: 1},
+		{Label: "10x lower, Cov-Base", MeanFactor: 0.1, CovFactor: 1},
+		{Label: "10x lower, 2*Cov-Base", MeanFactor: 0.1, CovFactor: 2},
+	}
+	const archives = 7
+	scfg := sim.Config{DisableCoherence: true}
+	for i := range configs {
+		var rels []float64
+		for a := 0; a < archives; a++ {
+			arch := calib.Generate(calib.DefaultQ20Config(cfg.Seed + int64(a)))
+			d := device.MustNew(arch.Topo, arch.Mean())
+			if configs[i].MeanFactor != 1 || configs[i].CovFactor != 1 {
+				d = d.Scale(configs[i].MeanFactor, configs[i].CovFactor)
+			}
+			baseComp, err := core.Compile(d, prog, core.Options{Policy: core.Baseline})
+			if err != nil {
+				return nil, fmt.Errorf("table2 %s: %w", configs[i].Label, err)
+			}
+			fullComp, err := core.Compile(d, prog, core.Options{Policy: core.VQAVQM})
+			if err != nil {
+				return nil, err
+			}
+			basePST := sim.AnalyticPST(d, baseComp.Routed.Physical, scfg)
+			fullPST := sim.AnalyticPST(d, fullComp.Routed.Physical, scfg)
+			rels = append(rels, metrics.Relative(fullPST, basePST))
+		}
+		configs[i].Relative = metrics.GeoMean(rels)
+	}
+	return configs, nil
+}
+
+// Table2Table renders Table 2.
+func Table2Table(rows []Table2Row) Table {
+	t := Table{
+		Title:   "Table 2: sensitivity of VQA+VQM to error scaling (bv-16)",
+		Header:  []string{"error rate", "CoV", "relative PST benefit"},
+		Caption: "paper: 1.43x / 2.02x / 2.59x — benefit grows with relative variation",
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r.Label, fmt.Sprintf("%gx", r.CovFactor), x2(r.Relative)})
+	}
+	return t
+}
+
+// Table3Row is one IBM-Q5 kernel (paper Table 3).
+type Table3Row struct {
+	Name        string
+	BaselinePST float64
+	VQAVQMPST   float64
+	Relative    float64
+}
+
+// Table3Result holds the Table 3 rows and geomean.
+type Table3Result struct {
+	Rows    []Table3Row
+	GeoMean float64
+}
+
+// Table3IBMQ5 reproduces Table 3 under the documented substitution: the
+// physical IBM-Q5 is replaced by the fault-injection simulator configured
+// with the Tenerife topology and the paper's quoted error figures (mean 2Q
+// error 4.2%, worst link 12%), 4096 trials per program as in the paper.
+func Table3IBMQ5(cfg Config) (Table3Result, error) {
+	cfg = cfg.withDefaults()
+	d := cfg.q5()
+	var res Table3Result
+	var rels []float64
+	for _, spec := range workloads.Q5Suite() {
+		base, _, err := pst(d, spec.Circuit, core.Baseline, cfg.Q5Trials, cfg.Seed)
+		if err != nil {
+			return res, fmt.Errorf("table3 %s: %w", spec.Name, err)
+		}
+		full, _, err := pst(d, spec.Circuit, core.VQAVQM, cfg.Q5Trials, cfg.Seed)
+		if err != nil {
+			return res, err
+		}
+		rel := metrics.Relative(full, base)
+		res.Rows = append(res.Rows, Table3Row{Name: spec.Name, BaselinePST: base, VQAVQMPST: full, Relative: rel})
+		rels = append(rels, rel)
+	}
+	res.GeoMean = metrics.GeoMean(rels)
+	return res, nil
+}
+
+// Table3Table renders Table 3.
+func Table3Table(r Table3Result) Table {
+	t := Table{
+		Title:   "Table 3: PST on the IBM-Q5 model (4096 trials)",
+		Header:  []string{"benchmark", "PST (baseline)", "PST (VQA+VQM)", "relative"},
+		Caption: fmt.Sprintf("geomean: %.2fx (paper: 1.36x; up to 1.9x on TriSwap)", r.GeoMean),
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{row.Name, f2(row.BaselinePST), f2(row.VQAVQMPST), x2(row.Relative)})
+	}
+	return t
+}

@@ -1,0 +1,169 @@
+// Package gate defines the quantum gate set used throughout the repository:
+// the single-qubit gates exposed by IBM's NISQ machines, the two-qubit CNOT
+// (the native entangling operation whose error rate dominates program
+// reliability), the SWAP pseudo-gate used for qubit movement, and the
+// measurement operation. Gates carry enough metadata — arity, duration,
+// error class — for the compiler and the fault-injection simulator; no
+// unitary matrices are needed because the simulator tracks error events,
+// not amplitudes.
+package gate
+
+import (
+	"fmt"
+	"time"
+)
+
+// Kind identifies a gate type.
+type Kind int
+
+// The supported gate kinds. Single-qubit gates share one error class;
+// CNOT and SWAP use the two-qubit error class; Measure uses the readout
+// error class. Barrier is a scheduling hint with no error contribution.
+const (
+	I       Kind = iota // identity / explicit idle
+	X                   // Pauli-X (NOT)
+	Y                   // Pauli-Y
+	Z                   // Pauli-Z
+	H                   // Hadamard
+	S                   // phase gate (sqrt Z)
+	Sdg                 // S-dagger
+	T                   // T gate (fourth root of Z)
+	Tdg                 // T-dagger
+	RX                  // X-axis rotation by Param
+	RY                  // Y-axis rotation by Param
+	RZ                  // Z-axis rotation by Param
+	U1                  // diagonal phase, IBM basis gate
+	U2                  // single-pulse u2(φ,λ), parameters folded into Param
+	U3                  // general single-qubit rotation
+	CX                  // CNOT: control Qubits[0], target Qubits[1]
+	CZ                  // controlled-Z
+	SWAP                // exchange two qubits; compiles to 3 CX on hardware
+	Measure             // read out Qubits[0] into a classical bit
+	Barrier             // scheduling barrier across its qubits
+	numKinds
+)
+
+var names = [...]string{
+	I: "id", X: "x", Y: "y", Z: "z", H: "h", S: "s", Sdg: "sdg",
+	T: "t", Tdg: "tdg", RX: "rx", RY: "ry", RZ: "rz",
+	U1: "u1", U2: "u2", U3: "u3",
+	CX: "cx", CZ: "cz", SWAP: "swap", Measure: "measure", Barrier: "barrier",
+}
+
+// String returns the lower-case OpenQASM-style mnemonic.
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(names) {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return names[k]
+}
+
+// Valid reports whether k is a defined gate kind.
+func (k Kind) Valid() bool { return k >= 0 && k < numKinds }
+
+// Arity returns the number of qubits the gate acts on. Barrier arity is
+// variable and reported as 0.
+func (k Kind) Arity() int {
+	switch k {
+	case CX, CZ, SWAP:
+		return 2
+	case Barrier:
+		return 0
+	default:
+		return 1
+	}
+}
+
+// TwoQubit reports whether the gate uses a coupling link.
+func (k Kind) TwoQubit() bool { return k == CX || k == CZ || k == SWAP }
+
+// Parameterized reports whether the gate carries a rotation angle.
+func (k Kind) Parameterized() bool {
+	switch k {
+	case RX, RY, RZ, U1, U2, U3:
+		return true
+	}
+	return false
+}
+
+// ErrorClass buckets gates by which calibration figure governs their
+// failure probability.
+type ErrorClass int
+
+const (
+	// NoError marks gates that never fail (barriers, explicit idles).
+	NoError ErrorClass = iota
+	// OneQubit gates fail with the per-qubit single-qubit gate error rate.
+	OneQubit
+	// TwoQubit gates fail with the per-link two-qubit (CNOT) error rate;
+	// a SWAP is three CNOTs and fails accordingly.
+	TwoQubit
+	// Readout operations fail with the per-qubit measurement error rate.
+	Readout
+)
+
+// Class returns the error class of the gate kind.
+func (k Kind) Class() ErrorClass {
+	switch k {
+	case Barrier, I:
+		return NoError
+	case CX, CZ, SWAP:
+		return TwoQubit
+	case Measure:
+		return Readout
+	default:
+		return OneQubit
+	}
+}
+
+// Durations of the physical operations, modeled on published
+// superconducting-transmon figures of the IBM Q era: single-qubit pulses
+// ~100 ns, CNOTs ~300 ns (a SWAP is three back-to-back CNOTs), measurement
+// ~1 µs. The simulator uses these to schedule circuits and to charge
+// decoherence for idle time.
+const (
+	DurationOneQubit = 100 * time.Nanosecond
+	DurationTwoQubit = 300 * time.Nanosecond
+	DurationSwap     = 3 * DurationTwoQubit
+	DurationReadout  = 1 * time.Microsecond
+)
+
+// Duration returns the wall-clock duration of one application of the gate.
+func (k Kind) Duration() time.Duration {
+	switch k {
+	case Barrier:
+		return 0
+	case SWAP:
+		return DurationSwap
+	case CX, CZ:
+		return DurationTwoQubit
+	case Measure:
+		return DurationReadout
+	default:
+		return DurationOneQubit
+	}
+}
+
+// CNOTCost returns how many physical CNOTs the gate costs on hardware:
+// 1 for CX/CZ, 3 for SWAP, 0 otherwise. This is the quantity the paper's
+// reliability analysis counts, because two-qubit error rates are an order
+// of magnitude above single-qubit ones.
+func (k Kind) CNOTCost() int {
+	switch k {
+	case CX, CZ:
+		return 1
+	case SWAP:
+		return 3
+	}
+	return 0
+}
+
+// KindByName maps an OpenQASM-style mnemonic to its Kind.
+func KindByName(name string) (Kind, bool) {
+	for k, n := range names {
+		if n == name {
+			return Kind(k), true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,110 @@
+package gate
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStringRoundTrip(t *testing.T) {
+	for k := Kind(0); k.Valid(); k++ {
+		name := k.String()
+		got, ok := KindByName(name)
+		if !ok {
+			t.Fatalf("KindByName(%q) not found", name)
+		}
+		if got != k {
+			t.Fatalf("round trip %v -> %q -> %v", k, name, got)
+		}
+	}
+}
+
+func TestKindByNameUnknown(t *testing.T) {
+	if _, ok := KindByName("frobnicate"); ok {
+		t.Fatal("unknown mnemonic resolved")
+	}
+}
+
+func TestInvalidKindString(t *testing.T) {
+	if s := Kind(999).String(); s != "Kind(999)" {
+		t.Fatalf("invalid kind string = %q", s)
+	}
+	if Kind(999).Valid() || Kind(-1).Valid() {
+		t.Fatal("out-of-range kind reported valid")
+	}
+}
+
+func TestArity(t *testing.T) {
+	cases := map[Kind]int{
+		X: 1, H: 1, RZ: 1, Measure: 1,
+		CX: 2, CZ: 2, SWAP: 2,
+		Barrier: 0,
+	}
+	for k, want := range cases {
+		if got := k.Arity(); got != want {
+			t.Errorf("%v.Arity() = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestTwoQubit(t *testing.T) {
+	for k := Kind(0); k.Valid(); k++ {
+		want := k == CX || k == CZ || k == SWAP
+		if k.TwoQubit() != want {
+			t.Errorf("%v.TwoQubit() = %v, want %v", k, k.TwoQubit(), want)
+		}
+	}
+}
+
+func TestParameterized(t *testing.T) {
+	for _, k := range []Kind{RX, RY, RZ, U1, U2, U3} {
+		if !k.Parameterized() {
+			t.Errorf("%v should be parameterized", k)
+		}
+	}
+	for _, k := range []Kind{X, H, CX, Measure, Barrier} {
+		if k.Parameterized() {
+			t.Errorf("%v should not be parameterized", k)
+		}
+	}
+}
+
+func TestErrorClass(t *testing.T) {
+	cases := map[Kind]ErrorClass{
+		Barrier: NoError, I: NoError,
+		X: OneQubit, H: OneQubit, U3: OneQubit,
+		CX: TwoQubit, CZ: TwoQubit, SWAP: TwoQubit,
+		Measure: Readout,
+	}
+	for k, want := range cases {
+		if got := k.Class(); got != want {
+			t.Errorf("%v.Class() = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestDurations(t *testing.T) {
+	if d := SWAP.Duration(); d != 3*CX.Duration() {
+		t.Fatalf("SWAP duration %v != 3x CX duration %v", d, CX.Duration())
+	}
+	if CX.Duration() <= H.Duration() {
+		t.Fatal("two-qubit gates should be slower than one-qubit gates")
+	}
+	if Measure.Duration() != time.Microsecond {
+		t.Fatalf("readout duration = %v, want 1µs", Measure.Duration())
+	}
+	if Barrier.Duration() != 0 {
+		t.Fatal("barrier should take no time")
+	}
+}
+
+func TestCNOTCost(t *testing.T) {
+	if SWAP.CNOTCost() != 3 {
+		t.Fatalf("SWAP CNOT cost = %d, want 3", SWAP.CNOTCost())
+	}
+	if CX.CNOTCost() != 1 || CZ.CNOTCost() != 1 {
+		t.Fatal("CX/CZ CNOT cost should be 1")
+	}
+	if H.CNOTCost() != 0 || Measure.CNOTCost() != 0 {
+		t.Fatal("non-entangling gates should cost 0 CNOTs")
+	}
+}

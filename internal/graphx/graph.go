@@ -1,0 +1,230 @@
+// Package graphx provides the weighted-graph machinery that underpins every
+// qubit-allocation and qubit-movement policy in this repository: shortest
+// paths by hop count and by arbitrary edge weight, hop-constrained shortest
+// paths (for the Maximum Additional Hops limit of VQM), all-pairs distance
+// matrices, node strength, k-core decomposition, and search for the
+// connected k-subgraph with the highest aggregate node strength.
+//
+// Graphs are small (NISQ machines have tens of qubits), so the
+// implementations favor clarity and exactness over asymptotic tricks;
+// everything is deterministic.
+package graphx
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Graph is an undirected graph with float64 edge weights. Nodes are the
+// integers [0, N). Parallel edges are not allowed; re-adding an edge
+// overwrites its weight. The zero Graph is not usable; construct with New.
+type Graph struct {
+	n   int
+	adj []map[int]float64 // adj[u][v] = weight
+}
+
+// New returns an empty graph with n nodes and no edges.
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graphx: negative node count %d", n))
+	}
+	adj := make([]map[int]float64, n)
+	for i := range adj {
+		adj[i] = make(map[int]float64)
+	}
+	return &Graph{n: n, adj: adj}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge inserts (or updates) the undirected edge u–v with weight w.
+// Self-loops are rejected.
+func (g *Graph) AddEdge(u, v int, w float64) {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		panic(fmt.Sprintf("graphx: self-loop on node %d", u))
+	}
+	g.adj[u][v] = w
+	g.adj[v][u] = w
+}
+
+// RemoveEdge deletes the undirected edge u–v if present.
+func (g *Graph) RemoveEdge(u, v int) {
+	g.check(u)
+	g.check(v)
+	delete(g.adj[u], v)
+	delete(g.adj[v], u)
+}
+
+// HasEdge reports whether u–v is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return false
+	}
+	_, ok := g.adj[u][v]
+	return ok
+}
+
+// Weight returns the weight of edge u–v and whether the edge exists.
+func (g *Graph) Weight(u, v int) (float64, bool) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return 0, false
+	}
+	w, ok := g.adj[u][v]
+	return w, ok
+}
+
+// SetWeight is an alias for AddEdge, provided for call-site readability when
+// the edge is known to exist already.
+func (g *Graph) SetWeight(u, v int, w float64) { g.AddEdge(u, v, w) }
+
+// Degree returns the number of edges incident to u.
+func (g *Graph) Degree(u int) int {
+	g.check(u)
+	return len(g.adj[u])
+}
+
+// Neighbors returns the neighbors of u in ascending order. The slice is
+// freshly allocated on each call.
+func (g *Graph) Neighbors(u int) []int {
+	g.check(u)
+	out := make([]int, 0, len(g.adj[u]))
+	for v := range g.adj[u] {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Edge is an undirected edge with U < V and its weight.
+type Edge struct {
+	U, V int
+	W    float64
+}
+
+// Edges returns every undirected edge exactly once (U < V), ordered by
+// (U, V) for determinism.
+func (g *Graph) Edges() []Edge {
+	var out []Edge
+	for u := 0; u < g.n; u++ {
+		for v, w := range g.adj[u] {
+			if u < v {
+				out = append(out, Edge{U: u, V: v, W: w})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for u := 0; u < g.n; u++ {
+		total += len(g.adj[u])
+	}
+	return total / 2
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	for u := 0; u < g.n; u++ {
+		for v, w := range g.adj[u] {
+			c.adj[u][v] = w
+		}
+	}
+	return c
+}
+
+// Map returns a new graph with every edge weight replaced by f(w).
+func (g *Graph) Map(f func(w float64) float64) *Graph {
+	c := New(g.n)
+	for u := 0; u < g.n; u++ {
+		for v, w := range g.adj[u] {
+			c.adj[u][v] = f(w)
+		}
+	}
+	return c
+}
+
+// NodeStrength returns the strength (weighted degree) of node u:
+// the sum of the weights of its incident edges.
+func (g *Graph) NodeStrength(u int) float64 {
+	g.check(u)
+	s := 0.0
+	for _, w := range g.adj[u] {
+		s += w
+	}
+	return s
+}
+
+// Strengths returns the strength of every node.
+func (g *Graph) Strengths() []float64 {
+	out := make([]float64, g.n)
+	for u := 0; u < g.n; u++ {
+		out[u] = g.NodeStrength(u)
+	}
+	return out
+}
+
+// Connected reports whether the subgraph induced by nodes (or the whole
+// graph when nodes is nil) is connected. An empty node set is considered
+// connected.
+func (g *Graph) Connected(nodes []int) bool {
+	var in []bool
+	var start, want int
+	if nodes == nil {
+		if g.n == 0 {
+			return true
+		}
+		in = nil
+		start = 0
+		want = g.n
+	} else {
+		if len(nodes) == 0 {
+			return true
+		}
+		in = make([]bool, g.n)
+		for _, u := range nodes {
+			g.check(u)
+			in[u] = true
+		}
+		start = nodes[0]
+		want = len(nodes)
+	}
+	seen := make([]bool, g.n)
+	stack := []int{start}
+	seen[start] = true
+	count := 0
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		count++
+		for v := range g.adj[u] {
+			if seen[v] || (in != nil && !in[v]) {
+				continue
+			}
+			seen[v] = true
+			stack = append(stack, v)
+		}
+	}
+	return count == want
+}
+
+// Inf is the distance reported between disconnected node pairs.
+var Inf = math.Inf(1)
+
+func (g *Graph) check(u int) {
+	if u < 0 || u >= g.n {
+		panic(fmt.Sprintf("graphx: node %d out of range [0,%d)", u, g.n))
+	}
+}

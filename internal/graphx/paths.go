@@ -1,0 +1,215 @@
+package graphx
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// HopDistances returns the minimum hop count from src to every node
+// (breadth-first search). Unreachable nodes get Inf.
+func (g *Graph) HopDistances(src int) []float64 {
+	g.check(src)
+	dist := make([]float64, g.n)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Neighbors(u) {
+			if dist[v] == Inf {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// AllPairsHops returns the matrix of minimum hop counts between every pair
+// of nodes.
+func (g *Graph) AllPairsHops() [][]float64 {
+	out := make([][]float64, g.n)
+	for u := 0; u < g.n; u++ {
+		out[u] = g.HopDistances(u)
+	}
+	return out
+}
+
+// pqItem is an entry in the Dijkstra priority queue.
+type pqItem struct {
+	node int
+	hops int // used by hop-constrained search; 0 otherwise
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int      { return len(q) }
+func (q pq) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q pq) Less(i, j int) bool {
+	if q[i].dist != q[j].dist {
+		return q[i].dist < q[j].dist
+	}
+	if q[i].node != q[j].node {
+		return q[i].node < q[j].node
+	}
+	return q[i].hops < q[j].hops
+}
+func (q *pq) Push(x any) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Dijkstra returns the minimum total edge weight from src to every node and
+// a predecessor array for path reconstruction (prev[src] == -1; prev[v] ==
+// -1 also marks unreachable nodes). Edge weights must be non-negative.
+func (g *Graph) Dijkstra(src int) (dist []float64, prev []int) {
+	g.check(src)
+	dist = make([]float64, g.n)
+	prev = make([]int, g.n)
+	done := make([]bool, g.n)
+	for i := range dist {
+		dist[i] = Inf
+		prev[i] = -1
+	}
+	dist[src] = 0
+	q := &pq{{node: src}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		for _, v := range g.Neighbors(u) {
+			w := g.adj[u][v]
+			if w < 0 {
+				panic(fmt.Sprintf("graphx: negative edge weight %v on %d-%d", w, u, v))
+			}
+			if nd := dist[u] + w; nd < dist[v] {
+				dist[v] = nd
+				prev[v] = u
+				heap.Push(q, pqItem{node: v, dist: nd})
+			}
+		}
+	}
+	return dist, prev
+}
+
+// AllPairsDijkstra returns the full weighted distance matrix.
+func (g *Graph) AllPairsDijkstra() [][]float64 {
+	out := make([][]float64, g.n)
+	for u := 0; u < g.n; u++ {
+		out[u], _ = g.Dijkstra(u)
+	}
+	return out
+}
+
+// ShortestPath returns the minimum-weight path from src to dst as a node
+// sequence including both endpoints, and its total weight. ok is false when
+// dst is unreachable.
+func (g *Graph) ShortestPath(src, dst int) (path []int, weight float64, ok bool) {
+	dist, prev := g.Dijkstra(src)
+	if dist[dst] == Inf {
+		return nil, Inf, false
+	}
+	return reconstruct(prev, src, dst), dist[dst], true
+}
+
+func reconstruct(prev []int, src, dst int) []int {
+	var rev []int
+	for v := dst; v != -1; v = prev[v] {
+		rev = append(rev, v)
+		if v == src {
+			break
+		}
+	}
+	// Reverse in place.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// ConstrainedDijkstra returns, for every node v, the minimum total edge
+// weight of a src→v path using at most maxHops edges (Inf when no such path
+// exists), together with one witness path per reachable node. The search
+// state is (node, hops), so a longer-hop but cheaper prefix is explored
+// independently of a shorter-hop costlier one.
+//
+// This is the engine behind the paper's hop-limited VQM: route reliability
+// is maximized subject to "extra hops ≤ MAH".
+func (g *Graph) ConstrainedDijkstra(src, maxHops int) (dist []float64, paths [][]int) {
+	g.check(src)
+	if maxHops < 0 {
+		maxHops = 0
+	}
+	// best[v][h] = cheapest cost to reach v using exactly ≤ indexed hops.
+	best := make([][]float64, g.n)
+	prevNode := make([][]int, g.n)
+	for v := range best {
+		best[v] = make([]float64, maxHops+1)
+		prevNode[v] = make([]int, maxHops+1)
+		for h := 0; h <= maxHops; h++ {
+			best[v][h] = Inf
+			prevNode[v][h] = -1
+		}
+	}
+	best[src][0] = 0
+	q := &pq{{node: src, hops: 0, dist: 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		u, h := it.node, it.hops
+		if it.dist > best[u][h] {
+			continue
+		}
+		if h == maxHops {
+			continue
+		}
+		for _, v := range g.Neighbors(u) {
+			w := g.adj[u][v]
+			if nd := it.dist + w; nd < best[v][h+1] {
+				best[v][h+1] = nd
+				prevNode[v][h+1] = u
+				heap.Push(q, pqItem{node: v, hops: h + 1, dist: nd})
+			}
+		}
+	}
+	dist = make([]float64, g.n)
+	paths = make([][]int, g.n)
+	for v := 0; v < g.n; v++ {
+		bestH, bestD := -1, Inf
+		for h := 0; h <= maxHops; h++ {
+			if best[v][h] < bestD {
+				bestD = best[v][h]
+				bestH = h
+			}
+		}
+		dist[v] = bestD
+		if bestH >= 0 {
+			// Walk back through (node, hop) states.
+			rev := []int{v}
+			node, h := v, bestH
+			for node != src || h != 0 {
+				p := prevNode[node][h]
+				if p == -1 {
+					break
+				}
+				rev = append(rev, p)
+				node, h = p, h-1
+			}
+			for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+				rev[i], rev[j] = rev[j], rev[i]
+			}
+			paths[v] = rev
+		}
+	}
+	return dist, paths
+}

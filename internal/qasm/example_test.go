@@ -1,0 +1,32 @@
+package qasm_test
+
+import (
+	"fmt"
+
+	"vaq/internal/qasm"
+)
+
+// Example parses an OpenQASM 2.0 program with a user gate definition.
+func Example() {
+	src := `OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+gate majority a,b,c {
+  cx c,b;
+  cx c,a;
+  h c; cx b,c; tdg c; cx a,c; t c; cx b,c; tdg c; cx a,c; t b; t c; h c;
+  cx a,b; t a; tdg b; cx a,b;
+}
+majority q[0],q[1],q[2];
+measure q[0] -> c[0];
+`
+	c, err := qasm.Parse(src)
+	if err != nil {
+		fmt.Println("parse:", err)
+		return
+	}
+	s := c.Stats()
+	fmt.Printf("qubits=%d gates=%d cnots=%d\n", c.NumQubits, s.Total, s.CNOTs)
+	// Output: qubits=3 gates=18 cnots=8
+}

@@ -1,0 +1,212 @@
+package qasm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// macroDef is a user gate definition:
+//
+//	gate name(p1,p2) q1,q2 { body; body; }
+//
+// Bodies are stored as raw statements; applications expand them with the
+// actual parameters (evaluated to numbers) and qubit operands substituted
+// for the formal names, then feed the result back through the parser.
+type macroDef struct {
+	name    string
+	params  []string // formal parameter names (may be empty)
+	qubits  []string // formal qubit names
+	body    []string // ';'-separated statements
+	defLine int
+}
+
+// extractGateDefs strips every `gate … { … }` block from the source and
+// returns the cleaned source (with newlines preserved so line numbers in
+// errors stay meaningful) plus the parsed definitions.
+func extractGateDefs(src string) (string, []*macroDef, error) {
+	var defs []*macroDef
+	var cleaned strings.Builder
+
+	lines := strings.Split(src, "\n")
+	i := 0
+	for i < len(lines) {
+		line := stripComment(lines[i])
+		trimmed := strings.TrimSpace(line)
+		if !strings.HasPrefix(trimmed, "gate ") && trimmed != "gate" {
+			cleaned.WriteString(lines[i])
+			cleaned.WriteByte('\n')
+			i++
+			continue
+		}
+		// Collect until the closing brace.
+		start := i
+		var block strings.Builder
+		depth := 0
+		opened := false
+		for i < len(lines) {
+			l := stripComment(lines[i])
+			block.WriteString(l)
+			block.WriteByte('\n')
+			depth += strings.Count(l, "{")
+			if strings.Contains(l, "{") {
+				opened = true
+			}
+			depth -= strings.Count(l, "}")
+			i++
+			cleaned.WriteByte('\n') // keep line numbering aligned
+			if opened && depth == 0 {
+				break
+			}
+		}
+		if !opened || depth != 0 {
+			return "", nil, &ParseError{Line: start + 1, Msg: "unterminated gate definition"}
+		}
+		def, err := parseGateDef(block.String(), start+1)
+		if err != nil {
+			return "", nil, err
+		}
+		defs = append(defs, def)
+	}
+	return cleaned.String(), defs, nil
+}
+
+// parseGateDef parses one complete `gate header { body }` block.
+func parseGateDef(block string, line int) (*macroDef, error) {
+	open := strings.Index(block, "{")
+	close := strings.LastIndex(block, "}")
+	if open < 0 || close < open {
+		return nil, &ParseError{Line: line, Msg: "malformed gate definition"}
+	}
+	header := strings.TrimSpace(block[:open])
+	body := block[open+1 : close]
+
+	header = strings.TrimSpace(strings.TrimPrefix(header, "gate"))
+	if header == "" {
+		return nil, &ParseError{Line: line, Msg: "gate definition without a name"}
+	}
+	def := &macroDef{defLine: line}
+	// Split "name(params) qubits" or "name qubits".
+	rest := header
+	if p := strings.Index(header, "("); p >= 0 {
+		q := strings.Index(header, ")")
+		if q < p {
+			return nil, &ParseError{Line: line, Msg: "unbalanced parameter list in gate definition"}
+		}
+		def.name = strings.TrimSpace(header[:p])
+		for _, prm := range strings.Split(header[p+1:q], ",") {
+			prm = strings.TrimSpace(prm)
+			if prm == "" {
+				continue
+			}
+			if !validIdent(prm) {
+				return nil, &ParseError{Line: line, Msg: fmt.Sprintf("bad parameter name %q", prm)}
+			}
+			def.params = append(def.params, prm)
+		}
+		rest = strings.TrimSpace(header[q+1:])
+	} else {
+		fields := strings.SplitN(header, " ", 2)
+		def.name = strings.TrimSpace(fields[0])
+		rest = ""
+		if len(fields) == 2 {
+			rest = strings.TrimSpace(fields[1])
+		}
+	}
+	if !validIdent(def.name) {
+		return nil, &ParseError{Line: line, Msg: fmt.Sprintf("bad gate name %q", def.name)}
+	}
+	if rest == "" {
+		return nil, &ParseError{Line: line, Msg: "gate definition without qubit arguments"}
+	}
+	for _, qb := range strings.Split(rest, ",") {
+		qb = strings.TrimSpace(qb)
+		if !validIdent(qb) {
+			return nil, &ParseError{Line: line, Msg: fmt.Sprintf("bad qubit argument %q", qb)}
+		}
+		def.qubits = append(def.qubits, qb)
+	}
+	seen := map[string]bool{}
+	for _, name := range append(append([]string{}, def.params...), def.qubits...) {
+		if seen[name] {
+			return nil, &ParseError{Line: line, Msg: fmt.Sprintf("duplicate argument %q in gate definition", name)}
+		}
+		seen[name] = true
+	}
+	for _, stmt := range strings.Split(body, ";") {
+		stmt = strings.TrimSpace(stripComment(stmt))
+		stmt = strings.ReplaceAll(stmt, "\n", " ")
+		if stmt != "" {
+			def.body = append(def.body, stmt)
+		}
+	}
+	return def, nil
+}
+
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		if unicode.IsLetter(r) || r == '_' || (i > 0 && unicode.IsDigit(r)) {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// expand substitutes actual arguments into the macro body and returns the
+// expanded statements. Actual parameters arrive already evaluated.
+func (m *macroDef) expand(params []float64, operands []string, line int) ([]string, error) {
+	if len(params) != len(m.params) {
+		return nil, &ParseError{Line: line, Msg: fmt.Sprintf("%s expects %d parameters, got %d", m.name, len(m.params), len(params))}
+	}
+	if len(operands) != len(m.qubits) {
+		return nil, &ParseError{Line: line, Msg: fmt.Sprintf("%s expects %d qubit operands, got %d", m.name, len(m.qubits), len(operands))}
+	}
+	subst := map[string]string{}
+	for i, p := range m.params {
+		subst[p] = "(" + strconv.FormatFloat(params[i], 'g', 17, 64) + ")"
+	}
+	for i, q := range m.qubits {
+		subst[q] = operands[i]
+	}
+	out := make([]string, 0, len(m.body))
+	for _, stmt := range m.body {
+		out = append(out, substituteIdents(stmt, subst))
+	}
+	return out, nil
+}
+
+// substituteIdents replaces whole identifiers per the map, leaving other
+// text (numbers, operators, brackets) untouched.
+func substituteIdents(s string, subst map[string]string) string {
+	var b strings.Builder
+	i := 0
+	for i < len(s) {
+		r := rune(s[i])
+		if unicode.IsLetter(r) || r == '_' {
+			j := i
+			for j < len(s) && (isIdentByte(s[j])) {
+				j++
+			}
+			word := s[i:j]
+			if rep, ok := subst[word]; ok {
+				b.WriteString(rep)
+			} else {
+				b.WriteString(word)
+			}
+			i = j
+			continue
+		}
+		b.WriteByte(s[i])
+		i++
+	}
+	return b.String()
+}
+
+func isIdentByte(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}

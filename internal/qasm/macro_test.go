@@ -1,0 +1,158 @@
+package qasm
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"vaq/internal/gate"
+)
+
+func TestGateDefinitionBasic(t *testing.T) {
+	src := `OPENQASM 2.0;
+qreg q[3];
+gate bell a,b {
+  h a;
+  cx a,b;
+}
+bell q[0],q[1];
+bell q[1],q[2];
+`
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if s.OneQubit != 2 || s.TwoQubit != 2 {
+		t.Fatalf("stats = %+v, want 2 H + 2 CX", s)
+	}
+	if c.Gates[0].Kind != gate.H || c.Gates[0].Qubits[0] != 0 {
+		t.Fatalf("gate 0 = %v", c.Gates[0])
+	}
+	if c.Gates[3].Kind != gate.CX || c.Gates[3].Qubits[0] != 1 || c.Gates[3].Qubits[1] != 2 {
+		t.Fatalf("gate 3 = %v", c.Gates[3])
+	}
+}
+
+func TestGateDefinitionWithParams(t *testing.T) {
+	// The canonical qelib cu1 definition.
+	src := `qreg q[2];
+gate cu1(lambda) a,b {
+  u1(lambda/2) a;
+  cx a,b;
+  u1(-lambda/2) b;
+  cx a,b;
+  u1(lambda/2) b;
+}
+cu1(pi/2) q[0],q[1];
+`
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Gates) != 5 {
+		t.Fatalf("expanded gates = %d, want 5", len(c.Gates))
+	}
+	if got := c.Gates[0].Param; math.Abs(got-math.Pi/4) > 1e-12 {
+		t.Fatalf("first u1 param = %v, want pi/4", got)
+	}
+	if got := c.Gates[2].Param; math.Abs(got+math.Pi/4) > 1e-12 {
+		t.Fatalf("middle u1 param = %v, want -pi/4", got)
+	}
+}
+
+func TestGateDefinitionUsingEarlierDefinition(t *testing.T) {
+	src := `qreg q[2];
+gate mybell a,b { h a; cx a,b; }
+gate doublebell a,b { mybell a,b; mybell a,b; }
+doublebell q[0],q[1];
+`
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Gates) != 4 {
+		t.Fatalf("nested expansion gates = %d, want 4", len(c.Gates))
+	}
+}
+
+func TestGateDefinitionSingleLine(t *testing.T) {
+	src := "qreg q[1];\ngate flip a { x a; }\nflip q[0];\n"
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Gates) != 1 || c.Gates[0].Kind != gate.X {
+		t.Fatalf("gates = %v", c.Gates)
+	}
+}
+
+func TestPrimitiveUAndCX(t *testing.T) {
+	src := "qreg q[2];\nU(pi/2,0,pi) q[0];\nCX q[0],q[1];\n"
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Gates[0].Kind != gate.U3 {
+		t.Fatalf("U mapped to %v, want u3", c.Gates[0].Kind)
+	}
+	if c.Gates[1].Kind != gate.CX {
+		t.Fatalf("CX mapped to %v", c.Gates[1].Kind)
+	}
+}
+
+func TestGateDefinitionErrors(t *testing.T) {
+	cases := []struct{ name, src, wantSub string }{
+		{"unterminated", "qreg q[1];\ngate g a { x a;\n", "unterminated"},
+		{"no name", "qreg q[1];\ngate { x a; }\n", "name"},
+		{"no qubits", "qreg q[1];\ngate g { }\n", "qubit arguments"},
+		{"dup args", "qreg q[1];\ngate g a,a { x a; }\n", "duplicate"},
+		{"bad param", "qreg q[1];\ngate g(2x) a { x a; }\n", "parameter"},
+		{"redefined", "qreg q[1];\ngate g a { x a; }\ngate g a { x a; }\ng q[0];", "twice"},
+		{"wrong operand count", "qreg q[2];\ngate g a,b { cx a,b; }\ng q[0];", "expects 2 qubit operands"},
+		{"wrong param count", "qreg q[1];\ngate g(t) a { rz(t) a; }\ng q[0];", "expects 1 parameters"},
+		{"bad body", "qreg q[1];\ngate g a { zap a; }\ng q[0];", "unknown gate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("Parse succeeded, want error containing %q", tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q missing %q", err.Error(), tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestMacroShadowsNative(t *testing.T) {
+	// Redefining h is allowed; the macro wins at application sites.
+	src := "qreg q[1];\ngate h a { x a; }\nh q[0];\n"
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Gates) != 1 || c.Gates[0].Kind != gate.X {
+		t.Fatalf("macro did not shadow native: %v", c.Gates)
+	}
+}
+
+func TestSubstituteIdentsWordBoundaries(t *testing.T) {
+	got := substituteIdents("cx aa,a; rz(alpha) a", map[string]string{"a": "q[7]", "alpha": "(1.5)"})
+	want := "cx aa,q[7]; rz((1.5)) q[7]"
+	if got != want {
+		t.Fatalf("substitute = %q, want %q", got, want)
+	}
+}
+
+func TestMacroParamExpressionAtCallSite(t *testing.T) {
+	src := "qreg q[1];\ngate rot(t) a { rz(t*2) a; }\nrot(0.25+0.25) q[0];\n"
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Gates[0].Param; math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("param = %v, want 1.0", got)
+	}
+}

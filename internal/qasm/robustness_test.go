@@ -1,0 +1,64 @@
+package qasm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics feeds the parser adversarial input assembled from
+// QASM fragments: it must return a value or an error, never panic.
+func TestParseNeverPanics(t *testing.T) {
+	fragments := []string{
+		"OPENQASM 2.0;", "include \"qelib1.inc\";", "qreg q[", "qreg q[3];",
+		"creg c[3];", "h q[0];", "cx q[0],q[1];", "measure q[0] -> c[0];",
+		"barrier q;", "rz(pi/2) q[1];", "->", "[", "]", ";", "(", ")",
+		"q[99]", "-1", "u3(1,2,3) q[0];", "swap q[0],q[1];", "//",
+		"qreg", "measure", "cx q[0],q[0];", "rz() q[0];", "\x00", "π",
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var b strings.Builder
+		for i := 0; i < 1+rng.Intn(20); i++ {
+			b.WriteString(fragments[rng.Intn(len(fragments))])
+			if rng.Intn(2) == 0 {
+				b.WriteByte('\n')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("parser panicked on %q: %v", b.String(), r)
+			}
+		}()
+		_, _ = Parse(b.String())
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseNeverPanicsOnMutatedValidProgram mutates a valid program
+// byte-by-byte; the parser must stay panic-free.
+func TestParseNeverPanicsOnMutatedValidProgram(t *testing.T) {
+	base := "OPENQASM 2.0;\nqreg q[4];\ncreg c[4];\nh q[0];\nrz(pi/4) q[1];\ncx q[0],q[1];\nswap q[2],q[3];\nmeasure q[0] -> c[0];\n"
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 500; trial++ {
+		mutated := []byte(base)
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			pos := rng.Intn(len(mutated))
+			mutated[pos] = byte(rng.Intn(128))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panicked on mutation %q: %v", mutated, r)
+				}
+			}()
+			_, _ = Parse(string(mutated))
+		}()
+	}
+}

@@ -1,0 +1,122 @@
+// Package report renders experiment results for terminals and exports
+// them for plotting: horizontal ASCII bar charts (the repo's stand-in for
+// the paper's matplotlib figures), sparklines for time series, CSV, and
+// indented JSON.
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Bars renders a horizontal bar chart: one row per label, bars scaled to
+// width characters at the maximum value. A reference value > 0 draws a
+// '|' marker at its position on each row (e.g. the 1.0x baseline of a
+// relative-PST chart).
+func Bars(title string, labels []string, values []float64, width int, reference float64) string {
+	if len(labels) != len(values) {
+		panic(fmt.Sprintf("report: %d labels for %d values", len(labels), len(values)))
+	}
+	if width <= 0 {
+		width = 50
+	}
+	maxVal := reference
+	for _, v := range values {
+		if v > maxVal {
+			maxVal = v
+		}
+	}
+	if maxVal <= 0 {
+		maxVal = 1
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for i, l := range labels {
+		v := values[i]
+		if v < 0 || math.IsNaN(v) {
+			v = 0
+		}
+		n := int(v / maxVal * float64(width))
+		if n > width {
+			n = width
+		}
+		row := []byte(strings.Repeat("#", n) + strings.Repeat(" ", width-n))
+		if reference > 0 {
+			pos := int(reference / maxVal * float64(width))
+			if pos >= width {
+				pos = width - 1
+			}
+			if row[pos] == ' ' {
+				row[pos] = '|'
+			} else {
+				row[pos] = '+'
+			}
+		}
+		fmt.Fprintf(&b, "%-*s %s %.2f\n", labelW, l, row, values[i])
+	}
+	return b.String()
+}
+
+// sparkGlyphs are the eight block heights of a sparkline.
+var sparkGlyphs = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders a compact one-line chart of the series, scaled
+// between its min and max.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	span := hi - lo
+	var b strings.Builder
+	for _, v := range values {
+		idx := 0
+		if span > 0 {
+			idx = int((v - lo) / span * float64(len(sparkGlyphs)-1))
+		}
+		b.WriteRune(sparkGlyphs[idx])
+	}
+	return b.String()
+}
+
+// WriteCSV writes header + rows as CSV.
+func WriteCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON writes v as indented JSON.
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

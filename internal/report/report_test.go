@@ -1,0 +1,106 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestBarsBasics(t *testing.T) {
+	out := Bars("chart", []string{"a", "bb"}, []float64{1, 2}, 10, 0)
+	if !strings.Contains(out, "chart") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 3", len(lines))
+	}
+	// The larger value fills the full width.
+	if !strings.Contains(lines[2], strings.Repeat("#", 10)) {
+		t.Fatalf("max bar not full width: %q", lines[2])
+	}
+	if !strings.Contains(lines[1], "#####") || strings.Contains(lines[1], "######") {
+		t.Fatalf("half bar wrong: %q", lines[1])
+	}
+}
+
+func TestBarsReferenceMarker(t *testing.T) {
+	out := Bars("", []string{"x"}, []float64{0.5}, 20, 1.0)
+	if !strings.Contains(out, "|") {
+		t.Fatalf("reference marker missing: %q", out)
+	}
+	// Bar reaching the reference merges into '+'.
+	out = Bars("", []string{"x"}, []float64{2}, 20, 2)
+	if !strings.Contains(out, "+") {
+		t.Fatalf("merged marker missing: %q", out)
+	}
+}
+
+func TestBarsHandlesDegenerateValues(t *testing.T) {
+	out := Bars("", []string{"neg", "zero"}, []float64{-1, 0}, 10, 0)
+	if strings.Contains(out, "#") {
+		t.Fatalf("non-positive values drew bars: %q", out)
+	}
+}
+
+func TestBarsPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched labels/values did not panic")
+		}
+	}()
+	Bars("", []string{"a"}, []float64{1, 2}, 10, 0)
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Fatalf("sparkline length = %d runes, want 4", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Fatalf("sparkline extremes wrong: %q", s)
+	}
+	if Sparkline(nil) != "" {
+		t.Fatal("empty sparkline should be empty string")
+	}
+	flat := Sparkline([]float64{5, 5, 5})
+	for _, r := range flat {
+		if r != '▁' {
+			t.Fatalf("flat series should render minimum glyphs: %q", flat)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteCSV(&buf, []string{"a", "b"}, [][]string{{"1", "2"}, {"3", "x,y"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if !strings.HasPrefix(got, "a,b\n1,2\n") {
+		t.Fatalf("csv = %q", got)
+	}
+	if !strings.Contains(got, "\"x,y\"") {
+		t.Fatalf("comma not quoted: %q", got)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, map[string]int{"k": 1}); err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]int
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back["k"] != 1 {
+		t.Fatalf("round trip = %v", back)
+	}
+	if !strings.Contains(buf.String(), "  ") {
+		t.Fatal("output not indented")
+	}
+}

@@ -1,0 +1,271 @@
+package route
+
+import (
+	"container/heap"
+	"math"
+
+	"vaq/internal/alloc"
+	"vaq/internal/device"
+	"vaq/internal/graphx"
+)
+
+// costs caches the per-device matrices the search consults: pairwise
+// movement costs under the chosen model, pairwise hop counts, and for each
+// physical pair the cheapest cost (and minimum swaps) to make them
+// adjacent.
+type costs struct {
+	model CostModel
+	// edges of the coupling graph with their per-SWAP cost.
+	edges []graphx.Edge
+	// dist[a][b]: minimum summed SWAP cost to move a qubit from a to b.
+	dist [][]float64
+	// hops[a][b]: minimum number of SWAPs to move a qubit from a to b.
+	hops [][]float64
+	// adjCost[a][b]: lower-estimate cost to make qubits at a and b
+	// adjacent (each may move): min over coupling (u,v) of
+	// min(dist[a][u]+dist[b][v], dist[a][v]+dist[b][u]).
+	adjCost [][]float64
+	// adjHops[a][b]: same quantity under hop counting — the minimum swaps
+	// needed to make a and b adjacent, used for the MAH budget.
+	adjHops [][]float64
+}
+
+func newCosts(d *device.Device, model CostModel) *costs {
+	n := d.NumQubits()
+	swapGraph := graphx.New(n)
+	overhead := d.SwapOverheadCost()
+	for _, c := range d.Topology().Couplings {
+		w := 1.0
+		if model == CostReliability {
+			// Gate-failure hazard of the SWAP plus the decoherence hazard
+			// of the schedule time it adds; the latter regularizes against
+			// long detours whose per-route reliability gain is marginal.
+			w = d.SwapCost(c.A, c.B) + overhead
+		}
+		swapGraph.AddEdge(c.A, c.B, w)
+	}
+	cm := &costs{
+		model: model,
+		edges: swapGraph.Edges(),
+		dist:  swapGraph.AllPairsDijkstra(),
+		hops:  d.HopGraph().AllPairsHops(),
+	}
+	cm.adjCost = adjacencyMatrix(cm.edges, cm.dist, n)
+	unitEdges := d.HopGraph().Edges()
+	cm.adjHops = adjacencyMatrix(unitEdges, cm.hops, n)
+	return cm
+}
+
+// adjacencyMatrix computes, for every physical pair (a,b), the cheapest
+// way to place them across some coupling link when both may move.
+func adjacencyMatrix(edges []graphx.Edge, dist [][]float64, n int) [][]float64 {
+	adj := make([][]float64, n)
+	for a := 0; a < n; a++ {
+		adj[a] = make([]float64, n)
+		for b := 0; b < n; b++ {
+			if a == b {
+				continue // never queried: a gate has distinct operands
+			}
+			best := math.Inf(1)
+			for _, e := range edges {
+				if c := dist[a][e.U] + dist[b][e.V]; c < best {
+					best = c
+				}
+				if c := dist[a][e.V] + dist[b][e.U]; c < best {
+					best = c
+				}
+			}
+			adj[a][b] = best
+		}
+	}
+	return adj
+}
+
+// heuristic sums the adjacency cost over the layer's unsatisfied pairs
+// under mapping m.
+func (cm *costs) heuristic(m alloc.Mapping, pairs [][2]int) float64 {
+	h := 0.0
+	for _, pr := range pairs {
+		h += cm.adjCost[m[pr[0]]][m[pr[1]]]
+	}
+	return h
+}
+
+// minSwapsNeeded sums the minimum swaps to satisfy every pair — the base
+// of the MAH budget.
+func (cm *costs) minSwapsNeeded(m alloc.Mapping, pairs [][2]int) int {
+	total := 0.0
+	for _, pr := range pairs {
+		total += cm.adjHops[m[pr[0]]][m[pr[1]]]
+	}
+	return int(total)
+}
+
+// searchState is one A* node: a full program→physical mapping.
+type searchState struct {
+	m      alloc.Mapping
+	g      float64
+	swaps  int
+	parent *searchState
+	move   physPair // swap that produced this state from parent
+}
+
+type searchItem struct {
+	st  *searchState
+	f   float64
+	seq int // FIFO tie-break for determinism
+}
+
+type searchPQ []searchItem
+
+func (q searchPQ) Len() int { return len(q) }
+func (q searchPQ) Less(i, j int) bool {
+	if q[i].f != q[j].f {
+		return q[i].f < q[j].f
+	}
+	return q[i].seq < q[j].seq
+}
+func (q searchPQ) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *searchPQ) Push(x any)   { *q = append(*q, x.(searchItem)) }
+func (q *searchPQ) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// searchSwaps finds a SWAP sequence that makes every pair in the layer
+// adjacent simultaneously, minimizing the model's cost plus a decaying
+// lookahead bias toward keeping future layers' partners (future/futureW)
+// close. It never mutates m. ok is false when the search exhausted its
+// expansion cap (or the MAH budget made the goal unreachable); the caller
+// then routes gate by gate.
+func (r AStar) searchSwaps(d *device.Device, cm *costs, m alloc.Mapping, pairs [][2]int, future [][2]int, futureW []float64, maxExp int) (plan []physPair, ok bool) {
+	lookahead := func(mm alloc.Mapping) float64 {
+		h := 0.0
+		for i, pr := range future {
+			h += futureW[i] * cm.adjCost[mm[pr[0]]][mm[pr[1]]]
+		}
+		return h
+	}
+	satisfied := func(mm alloc.Mapping) bool {
+		for _, pr := range pairs {
+			if !d.Topology().Adjacent(mm[pr[0]], mm[pr[1]]) {
+				return false
+			}
+		}
+		return true
+	}
+	if satisfied(m) {
+		return nil, true
+	}
+
+	budget := math.MaxInt32
+	if r.MAH >= 0 {
+		budget = cm.minSwapsNeeded(m, pairs) + r.MAH
+	}
+
+	active := make(map[int]bool, 2*len(pairs))
+	for _, pr := range pairs {
+		active[pr[0]] = true
+		active[pr[1]] = true
+	}
+
+	start := &searchState{m: m.Clone()}
+	open := &searchPQ{{st: start, f: cm.heuristic(m, pairs) + lookahead(m)}}
+	bestG := map[string]float64{stateKey(start.m): 0}
+	seq := 0
+	expansions := 0
+
+	for open.Len() > 0 && expansions < maxExp {
+		item := heap.Pop(open).(searchItem)
+		st := item.st
+		if g, ok := bestG[stateKey(st.m)]; ok && st.g > g {
+			continue // stale entry
+		}
+		if satisfied(st.m) {
+			return extractPlan(st), true
+		}
+		expansions++
+		if st.swaps >= budget {
+			continue
+		}
+		inv := st.m.Inverse(d.NumQubits())
+		for _, e := range cm.edges {
+			pu, pv := inv[e.U], inv[e.V]
+			if pu == -1 && pv == -1 {
+				continue
+			}
+			// Zulehner-style restriction: only move qubits the layer
+			// cares about (or their blockers).
+			if !(pu != -1 && active[pu]) && !(pv != -1 && active[pv]) {
+				continue
+			}
+			next := st.m.Clone()
+			if pu != -1 {
+				next[pu] = e.V
+			}
+			if pv != -1 {
+				next[pv] = e.U
+			}
+			g := st.g + e.W
+			key := stateKey(next)
+			if prev, ok := bestG[key]; ok && g >= prev {
+				continue
+			}
+			bestG[key] = g
+			ns := &searchState{m: next, g: g, swaps: st.swaps + 1, parent: st, move: physPair{e.U, e.V}}
+			seq++
+			heap.Push(open, searchItem{st: ns, f: g + cm.heuristic(next, pairs) + lookahead(next), seq: seq})
+		}
+	}
+	return nil, false
+}
+
+func stateKey(m alloc.Mapping) string {
+	b := make([]byte, len(m))
+	for i, v := range m {
+		b[i] = byte(v)
+	}
+	return string(b)
+}
+
+func extractPlan(st *searchState) []physPair {
+	var rev []physPair
+	for s := st; s.parent != nil; s = s.parent {
+		rev = append(rev, s.move)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// pairPlan routes a single physical pair: it walks the qubit at src along
+// the cheapest (optionally hop-limited) path toward dst and returns the
+// swap sequence that makes them adjacent. Deterministic; always terminates
+// on a connected machine.
+func (r AStar) pairPlan(d *device.Device, cm *costs, src, dst int) []physPair {
+	if d.Topology().Adjacent(src, dst) {
+		return nil
+	}
+	costGraph := graphx.New(d.NumQubits())
+	for _, e := range cm.edges {
+		costGraph.AddEdge(e.U, e.V, e.W)
+	}
+	var path []int
+	if r.MAH >= 0 {
+		maxHops := int(cm.hops[src][dst]) + r.MAH
+		_, paths := costGraph.ConstrainedDijkstra(src, maxHops)
+		path = paths[dst]
+	}
+	if path == nil {
+		path, _, _ = costGraph.ShortestPath(src, dst)
+	}
+	var plan []physPair
+	for i := 0; i+2 < len(path); i++ {
+		plan = append(plan, physPair{path[i], path[i+1]})
+	}
+	return plan
+}

@@ -1,0 +1,267 @@
+// Package route implements Qubit-Movement policies: given a circuit and an
+// initial program→physical mapping, insert SWAP operations so every
+// two-qubit gate executes across a real coupling link.
+//
+// Two routers are provided:
+//
+//   - AStar: the layer-by-layer search of Zulehner et al. (the paper's
+//     baseline), parameterized by cost model. With CostHops it minimizes
+//     the number of SWAPs (variation-unaware baseline); with
+//     CostReliability it minimizes −log(success probability), which is the
+//     paper's Variation-Aware Qubit Movement (VQM, Algorithm 1). The MAH
+//     field implements the hop-limited VQM variant.
+//
+//   - Naive: route each CNOT independently along an arbitrary shortest hop
+//     path, modeling the IBM native compiler's movement strategy.
+package route
+
+import (
+	"fmt"
+
+	"vaq/internal/alloc"
+	"vaq/internal/circuit"
+	"vaq/internal/device"
+)
+
+// Result is a routed (physical) program.
+type Result struct {
+	// Physical is the compiled circuit over physical qubits, including the
+	// inserted SWAPs. Measures carry their original classical bits.
+	Physical *circuit.Circuit
+	// Initial and Final are the program→physical mappings before and after
+	// execution (inserted SWAPs displace qubits; the program's own SWAP
+	// gates exchange label states in place and leave the mapping alone).
+	Initial alloc.Mapping
+	Final   alloc.Mapping
+	// Swaps is the number of SWAP operations inserted for movement.
+	Swaps int
+	// Movement lists the indices into Physical.Gates of the inserted
+	// movement SWAPs, distinguishing them from SWAP gates that belong to
+	// the program itself (e.g. the TriSwap kernel).
+	Movement []int
+}
+
+// IsMovement reports whether physical gate index gi is an inserted
+// movement SWAP.
+func (r *Result) IsMovement(gi int) bool {
+	for _, i := range r.Movement {
+		if i == gi {
+			return true
+		}
+	}
+	return false
+}
+
+// Router inserts movement into a circuit under a fixed initial mapping.
+type Router interface {
+	Name() string
+	Route(d *device.Device, c *circuit.Circuit, initial alloc.Mapping) (*Result, error)
+}
+
+// Lookahead parameters: how many future layers the SWAP search considers
+// and the geometric decay of their weight. Matching Zulehner et al.'s
+// lookahead scheme, this discourages layer-locally optimal routes that
+// scatter qubits a later layer needs together.
+const (
+	lookaheadDepth = 4
+	lookaheadDecay = 0.5
+)
+
+// CostModel selects the objective the A* router minimizes.
+type CostModel int
+
+const (
+	// CostHops charges 1 per SWAP: the baseline's uniform-cost assumption.
+	CostHops CostModel = iota
+	// CostReliability charges −ln((1−e)³) per SWAP across a link with
+	// error rate e: VQM's objective.
+	CostReliability
+)
+
+func (cm CostModel) String() string {
+	if cm == CostHops {
+		return "hops"
+	}
+	return "reliability"
+}
+
+// AStar is the layer-by-layer SWAP-insertion search.
+type AStar struct {
+	Cost CostModel
+	// MAH, when ≥ 0, limits the extra SWAPs per layer transition to the
+	// minimum hop requirement plus MAH (the paper's Maximum Additional
+	// Hops knob; the paper evaluates MAH=4). Negative means unlimited.
+	MAH int
+	// MaxExpansions caps the A* search per layer; 0 means the default
+	// (50000). On exhaustion the router falls back to greedy path routing,
+	// so compilation always succeeds on a connected machine.
+	MaxExpansions int
+}
+
+func (r AStar) Name() string {
+	switch {
+	case r.Cost == CostHops:
+		return "astar-hops"
+	case r.MAH >= 0:
+		return fmt.Sprintf("astar-reliability-mah%d", r.MAH)
+	default:
+		return "astar-reliability"
+	}
+}
+
+// Route compiles c onto d starting from initial.
+func (r AStar) Route(d *device.Device, c *circuit.Circuit, initial alloc.Mapping) (*Result, error) {
+	if err := prepare(d, c, initial); err != nil {
+		return nil, err
+	}
+	cm := newCosts(d, r.Cost)
+	maxExp := r.MaxExpansions
+	if maxExp <= 0 {
+		maxExp = 50000
+	}
+
+	out := circuit.New(c.Name, d.NumQubits())
+	out.NumCBits = c.NumCBits
+	m := initial.Clone()
+	swaps := 0
+	var movement []int
+
+	layers := c.Layers()
+	for li, layer := range layers {
+		pairs := layerPairs(c, layer)
+		// Lookahead (as in Zulehner et al.): bias this layer's SWAP choice
+		// toward mappings that also keep the next layers' CNOT partners
+		// close, with geometrically decaying weight. Purely a tie-breaker
+		// in the search heuristic; the goal is still the current layer.
+		var future [][2]int
+		var futureW []float64
+		weight := lookaheadDecay
+		for lj := li + 1; lj < len(layers) && lj <= li+lookaheadDepth; lj++ {
+			for _, pr := range layerPairs(c, layers[lj]) {
+				future = append(future, pr)
+				futureW = append(futureW, weight)
+			}
+			weight *= lookaheadDecay
+		}
+		plan, ok := r.searchSwaps(d, cm, m, pairs, future, futureW, maxExp)
+		if ok {
+			for _, sw := range plan {
+				emitSwap(out, m, sw)
+				swaps++
+				movement = append(movement, len(out.Gates)-1)
+			}
+			for _, gi := range layer {
+				emitGate(out, c.Gates[gi], m)
+			}
+			continue
+		}
+		// Search exhausted (expansion cap or infeasible MAH budget): fall
+		// back to routing the layer's gates one at a time, which is always
+		// correct on a connected machine.
+		for _, gi := range layer {
+			g := c.Gates[gi]
+			if g.Kind.TwoQubit() {
+				for _, sw := range r.pairPlan(d, cm, m[g.Qubits[0]], m[g.Qubits[1]]) {
+					emitSwap(out, m, sw)
+					swaps++
+					movement = append(movement, len(out.Gates)-1)
+				}
+			}
+			emitGate(out, c.Gates[gi], m)
+		}
+	}
+	return &Result{Physical: out, Initial: initial.Clone(), Final: m, Swaps: swaps, Movement: movement}, nil
+}
+
+// prepare validates router inputs.
+func prepare(d *device.Device, c *circuit.Circuit, initial alloc.Mapping) error {
+	if len(initial) != c.NumQubits {
+		return fmt.Errorf("route: mapping covers %d qubits, program has %d", len(initial), c.NumQubits)
+	}
+	if err := initial.Validate(d.NumQubits()); err != nil {
+		return fmt.Errorf("route: %w", err)
+	}
+	if !d.Topology().Connected() {
+		return fmt.Errorf("route: device %q is not connected", d.Topology().Name)
+	}
+	return nil
+}
+
+// physPair is a physical SWAP: exchange the contents of qubits U and V.
+type physPair struct{ U, V int }
+
+// layerPairs returns the layer's two-qubit gates as program-qubit pairs.
+// Already-adjacent pairs are included; the search treats them as satisfied
+// at zero cost.
+func layerPairs(c *circuit.Circuit, layer []int) [][2]int {
+	var pairs [][2]int
+	for _, gi := range layer {
+		g := c.Gates[gi]
+		if g.Kind.TwoQubit() {
+			pairs = append(pairs, [2]int{g.Qubits[0], g.Qubits[1]})
+		}
+	}
+	return pairs
+}
+
+// emitSwap appends the SWAP to the output circuit and updates the
+// program→physical mapping for any program qubits it displaces.
+func emitSwap(out *circuit.Circuit, m alloc.Mapping, sw physPair) {
+	out.Swap(sw.U, sw.V)
+	for p, phys := range m {
+		switch phys {
+		case sw.U:
+			m[p] = sw.V
+		case sw.V:
+			m[p] = sw.U
+		}
+	}
+}
+
+// emitGate appends gate g with operands mapped through m.
+func emitGate(out *circuit.Circuit, g circuit.Gate, m alloc.Mapping) {
+	qs := make([]int, len(g.Qubits))
+	for i, q := range g.Qubits {
+		qs[i] = m[q]
+	}
+	out.Append(circuit.Gate{Kind: g.Kind, Qubits: qs, Param: g.Param, CBit: g.CBit})
+}
+
+// Naive routes each two-qubit gate independently: if its operands are not
+// adjacent, it swaps the control along an arbitrary minimum-hop path until
+// they are. No layer lookahead, no cost model — the movement half of the
+// paper's "IBM native compiler" comparator.
+type Naive struct{}
+
+func (Naive) Name() string { return "naive" }
+
+func (Naive) Route(d *device.Device, c *circuit.Circuit, initial alloc.Mapping) (*Result, error) {
+	if err := prepare(d, c, initial); err != nil {
+		return nil, err
+	}
+	out := circuit.New(c.Name, d.NumQubits())
+	out.NumCBits = c.NumCBits
+	m := initial.Clone()
+	hop := d.HopGraph()
+	swaps := 0
+	var movement []int
+	for _, g := range c.Gates {
+		if g.Kind.TwoQubit() {
+			src, dst := m[g.Qubits[0]], m[g.Qubits[1]]
+			if !d.Topology().Adjacent(src, dst) {
+				path, _, ok := hop.ShortestPath(src, dst)
+				if !ok {
+					return nil, fmt.Errorf("route: no path %d→%d", src, dst)
+				}
+				// Swap the control down the path until adjacent to dst.
+				for i := 0; i+2 < len(path); i++ {
+					emitSwap(out, m, physPair{path[i], path[i+1]})
+					swaps++
+					movement = append(movement, len(out.Gates)-1)
+				}
+			}
+		}
+		emitGate(out, g, m)
+	}
+	return &Result{Physical: out, Initial: initial.Clone(), Final: m, Swaps: swaps, Movement: movement}, nil
+}

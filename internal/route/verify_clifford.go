@@ -1,0 +1,109 @@
+package route
+
+import (
+	"fmt"
+
+	"vaq/internal/circuit"
+	"vaq/internal/device"
+	"vaq/internal/gate"
+	"vaq/internal/stabilizer"
+)
+
+// VerifyClifford checks a routing result at the quantum-state level:
+// for Clifford programs (Bernstein–Vazirani, GHZ, TriSwap, …) it runs the
+// routed physical circuit on the stabilizer simulator, undoes the
+// residual qubit permutation (Final vs Initial mapping), and demands the
+// exact state the logical circuit prepares when its gates are applied at
+// the initial physical locations. This subsumes the structural Verify
+// check with true quantum semantics; non-Clifford programs return
+// ErrNotClifford.
+func VerifyClifford(d *device.Device, logical *circuit.Circuit, res *Result) error {
+	if !stabilizer.IsClifford(logical) {
+		return ErrNotClifford
+	}
+	n := d.NumQubits()
+
+	// State A: the physical circuit, then SWAPs returning every program
+	// qubit from its final to its initial location.
+	got, err := stabilizer.Run(res.Physical)
+	if err != nil {
+		return fmt.Errorf("verify-clifford: physical circuit: %w", err)
+	}
+	for _, sw := range permutationSwaps(res.Initial, res.Final, n) {
+		got.Swap(sw.U, sw.V)
+	}
+
+	// State B: the logical gates applied directly at the initial physical
+	// locations (the stabilizer simulator has no connectivity limits).
+	want := stabilizer.New(n)
+	for _, g := range logical.Gates {
+		if g.Kind == gate.Measure || g.Kind == gate.Barrier {
+			continue
+		}
+		mapped := circuit.Gate{Kind: g.Kind, Param: g.Param, CBit: g.CBit}
+		mapped.Qubits = make([]int, len(g.Qubits))
+		for i, q := range g.Qubits {
+			mapped.Qubits[i] = res.Initial[q]
+		}
+		if err := want.Apply(mapped); err != nil {
+			return fmt.Errorf("verify-clifford: logical circuit: %w", err)
+		}
+	}
+
+	if !stabilizer.Equal(got, want) {
+		return fmt.Errorf("verify-clifford: compiled circuit prepares a different quantum state")
+	}
+	return nil
+}
+
+// ErrNotClifford marks programs outside the stabilizer formalism; callers
+// fall back to the structural Verify.
+var ErrNotClifford = fmt.Errorf("route: program is not a Clifford circuit")
+
+// permutationSwaps returns transpositions that move each program qubit
+// from final[p] back to initial[p]. The mapped positions define a partial
+// map; the unmapped physical qubits (all |0⟩, so permuting them is a
+// no-op on the state) fill the remaining slots to complete it into a
+// permutation, which is then decomposed into cycles.
+func permutationSwaps(initial, final []int, n int) []physPair {
+	perm := make([]int, n) // perm[src] = destination of src's content
+	for i := range perm {
+		perm[i] = -1
+	}
+	usedDst := make([]bool, n)
+	for p := range initial {
+		perm[final[p]] = initial[p]
+		usedDst[initial[p]] = true
+	}
+	free := 0
+	for src := 0; src < n; src++ {
+		if perm[src] != -1 {
+			continue
+		}
+		for usedDst[free] {
+			free++
+		}
+		perm[src] = free
+		usedDst[free] = true
+	}
+	// Cycle decomposition: for a cycle c0→c1→…→ck→c0 the transposition
+	// sequence (c0,c1), (c0,c2), …, (c0,ck) realizes it.
+	visited := make([]bool, n)
+	var swaps []physPair
+	for s := 0; s < n; s++ {
+		if visited[s] || perm[s] == s {
+			visited[s] = true
+			continue
+		}
+		cycle := []int{s}
+		visited[s] = true
+		for t := perm[s]; t != s; t = perm[t] {
+			visited[t] = true
+			cycle = append(cycle, t)
+		}
+		for i := 1; i < len(cycle); i++ {
+			swaps = append(swaps, physPair{cycle[0], cycle[i]})
+		}
+	}
+	return swaps
+}

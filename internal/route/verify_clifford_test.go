@@ -1,0 +1,170 @@
+package route
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vaq/internal/alloc"
+	"vaq/internal/circuit"
+	"vaq/internal/topo"
+	"vaq/internal/workloads"
+)
+
+func TestVerifyCliffordAcceptsBVThroughEveryRouter(t *testing.T) {
+	d := uniformDevice(topo.IBMQ20(), 0.05)
+	prog := workloads.BV(10)
+	init := alloc.Mapping{0, 4, 10, 14, 19, 15, 5, 9, 2, 12} // scattered on purpose
+	for _, r := range []Router{
+		AStar{Cost: CostHops, MAH: -1},
+		AStar{Cost: CostReliability, MAH: -1},
+		AStar{Cost: CostReliability, MAH: 4},
+		Naive{},
+	} {
+		res, err := r.Route(d, prog, init)
+		if err != nil {
+			t.Fatalf("%s: %v", r.Name(), err)
+		}
+		if err := VerifyClifford(d, prog, res); err != nil {
+			t.Fatalf("%s: %v", r.Name(), err)
+		}
+	}
+}
+
+func TestVerifyCliffordRejectsNonClifford(t *testing.T) {
+	d := uniformDevice(topo.IBMQ20(), 0.05)
+	prog := workloads.QFT(4)
+	res, err := AStar{Cost: CostHops, MAH: -1}.Route(d, prog, identity(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyClifford(d, prog, res); !errors.Is(err, ErrNotClifford) {
+		t.Fatalf("err = %v, want ErrNotClifford", err)
+	}
+}
+
+func TestVerifyCliffordCatchesWrongGate(t *testing.T) {
+	d := uniformDevice(topo.Linear(3), 0.05)
+	prog := circuit.New("c", 2).H(0).CX(0, 1)
+	res, err := AStar{Cost: CostHops, MAH: -1}.Route(d, prog, identity(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tamper with the physical circuit: extra X changes the state.
+	bad := &Result{
+		Physical: res.Physical.Clone().X(0),
+		Initial:  res.Initial,
+		Final:    res.Final,
+	}
+	if VerifyClifford(d, prog, bad) == nil {
+		t.Fatal("tampered circuit passed quantum verification")
+	}
+}
+
+func TestVerifyCliffordCatchesWrongControlDirection(t *testing.T) {
+	// Subtle miscompilation the structural check may not model: reversing
+	// a CX's direction. Build a result by hand with reversed operands.
+	d := uniformDevice(topo.Linear(2), 0.05)
+	prog := circuit.New("c", 2).H(0).CX(0, 1)
+	good := circuit.New("c", 2).H(0).CX(0, 1)
+	bad := circuit.New("c", 2).H(0).CX(1, 0)
+	init := alloc.Mapping{0, 1}
+	okRes := &Result{Physical: good, Initial: init, Final: init.Clone()}
+	if err := VerifyClifford(d, prog, okRes); err != nil {
+		t.Fatalf("faithful circuit rejected: %v", err)
+	}
+	badRes := &Result{Physical: bad, Initial: init, Final: init.Clone()}
+	if VerifyClifford(d, prog, badRes) == nil {
+		t.Fatal("reversed CX passed quantum verification")
+	}
+}
+
+func TestVerifyCliffordRandomCliffordProgramsProperty(t *testing.T) {
+	devices := []struct {
+		tp *topo.Topology
+	}{
+		{topo.IBMQ20()}, {topo.IBMQ5()}, {topo.Ring5()},
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := uniformDevice(devices[rng.Intn(len(devices))].tp, 0.04)
+		n := 2 + rng.Intn(d.NumQubits()-1)
+		c := circuit.New("cliff", n)
+		for i := 0; i < 18; i++ {
+			a := rng.Intn(n)
+			switch rng.Intn(6) {
+			case 0:
+				c.H(a)
+			case 1:
+				c.S(a)
+			case 2:
+				c.X(a)
+			case 3:
+				c.Z(a)
+			default:
+				b := (a + 1 + rng.Intn(n-1)) % n
+				if rng.Intn(2) == 0 {
+					c.CX(a, b)
+				} else {
+					c.Swap(a, b)
+				}
+			}
+		}
+		c.MeasureAll()
+		init := make(alloc.Mapping, n)
+		copy(init, rng.Perm(d.NumQubits())[:n])
+		routers := []Router{
+			AStar{Cost: CostHops, MAH: -1},
+			AStar{Cost: CostReliability, MAH: -1},
+			Naive{},
+		}
+		r := routers[rng.Intn(len(routers))]
+		res, err := r.Route(d, c, init)
+		if err != nil {
+			t.Logf("route: %v", err)
+			return false
+		}
+		if err := VerifyClifford(d, c, res); err != nil {
+			t.Logf("%s: %v", r.Name(), err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermutationSwapsRestoreMapping(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8)
+		k := 1 + rng.Intn(n)
+		initial := make(alloc.Mapping, k)
+		final := make(alloc.Mapping, k)
+		copy(initial, rng.Perm(n)[:k])
+		copy(final, rng.Perm(n)[:k])
+		// Apply the transpositions to the final layout; every program
+		// qubit must come back to its initial position.
+		pos := make([]int, n)
+		for i := range pos {
+			pos[i] = -1
+		}
+		for p, phys := range final {
+			pos[phys] = p
+		}
+		for _, sw := range permutationSwaps(initial, final, n) {
+			pos[sw.U], pos[sw.V] = pos[sw.V], pos[sw.U]
+		}
+		for p, phys := range initial {
+			if pos[phys] != p {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,122 @@
+package route
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vaq/internal/alloc"
+	"vaq/internal/circuit"
+	"vaq/internal/topo"
+	"vaq/internal/workloads"
+)
+
+func TestVerifyStateQFTThroughEveryRouter(t *testing.T) {
+	// QFT is the paper's hardest communication pattern AND non-Clifford:
+	// only the state-vector check can validate it exactly.
+	d := uniformDevice(topo.IBMQ5(), 0.04)
+	prog := workloads.QFT(5)
+	init := alloc.Mapping{3, 0, 4, 1, 2}
+	for _, r := range []Router{
+		AStar{Cost: CostHops, MAH: -1},
+		AStar{Cost: CostReliability, MAH: -1},
+		AStar{Cost: CostReliability, MAH: 4},
+		Naive{},
+	} {
+		res, err := r.Route(d, prog, init)
+		if err != nil {
+			t.Fatalf("%s: %v", r.Name(), err)
+		}
+		if err := VerifyState(d, prog, res, 0); err != nil {
+			t.Fatalf("%s: %v", r.Name(), err)
+		}
+	}
+}
+
+func TestVerifyStateALU(t *testing.T) {
+	// The 10-qubit Toffoli-decomposed adder on a 16-qubit ladder.
+	d := uniformDevice(topo.IBMQ16(), 0.04)
+	prog := workloads.ALU()
+	init := make(alloc.Mapping, 10)
+	copy(init, rand.New(rand.NewSource(2)).Perm(16)[:10])
+	res, err := AStar{Cost: CostReliability, MAH: -1}.Route(d, prog, init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyState(d, prog, res, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyStateCatchesTampering(t *testing.T) {
+	d := uniformDevice(topo.Linear(3), 0.04)
+	prog := circuit.New("p", 2).H(0).T(0).CX(0, 1)
+	res, err := AStar{Cost: CostHops, MAH: -1}.Route(d, prog, identity(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &Result{Physical: res.Physical.Clone().T(1), Initial: res.Initial, Final: res.Final}
+	if VerifyState(d, prog, bad, 0) == nil {
+		t.Fatal("extra T gate passed state verification")
+	}
+}
+
+func TestVerifyStateTooLarge(t *testing.T) {
+	d := uniformDevice(topo.IBMQ20(), 0.04)
+	prog := workloads.BV(4)
+	res, err := AStar{Cost: CostHops, MAH: -1}.Route(d, prog, alloc.Mapping{0, 1, 2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyState(d, prog, res, 10); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge for a 20-qubit device at cap 10", err)
+	}
+	// With a loose cap the same result verifies.
+	if err := VerifyState(d, prog, res, 20); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyStateRandomNonCliffordProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := uniformDevice(topo.IBMQ5(), 0.05)
+		n := 2 + rng.Intn(4)
+		c := circuit.New("nc", n)
+		for i := 0; i < 16; i++ {
+			a := rng.Intn(n)
+			switch rng.Intn(5) {
+			case 0:
+				c.H(a)
+			case 1:
+				c.T(a)
+			case 2:
+				c.RZ(rng.Float64()*2-1, a)
+			default:
+				b := (a + 1 + rng.Intn(n-1)) % n
+				c.CX(a, b)
+			}
+		}
+		init := make(alloc.Mapping, n)
+		copy(init, rng.Perm(5)[:n])
+		r := []Router{
+			AStar{Cost: CostHops, MAH: -1},
+			AStar{Cost: CostReliability, MAH: -1},
+			Naive{},
+		}[rng.Intn(3)]
+		res, err := r.Route(d, c, init)
+		if err != nil {
+			t.Logf("route: %v", err)
+			return false
+		}
+		if err := VerifyState(d, c, res, 0); err != nil {
+			t.Logf("%s: %v", r.Name(), err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,232 @@
+// Package schedule assigns start times to circuit operations: an ASAP
+// (as-soon-as-possible) schedule with the physical gate durations of
+// package gate. The simulator charges decoherence for the idle windows
+// this schedule exposes, and the partitioning study uses the makespan as
+// the trial latency. Unlike dependency layering (circuit.Layers), which
+// quantizes time to the slowest gate of each layer, the schedule lets a
+// fast single-qubit gate start as soon as its operand is free.
+package schedule
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"vaq/internal/circuit"
+	"vaq/internal/gate"
+)
+
+// Op is one scheduled operation.
+type Op struct {
+	GateIndex  int // index into the source circuit's Gates
+	Kind       gate.Kind
+	Qubits     []int
+	Start, End time.Duration
+}
+
+// Schedule is a timed view of a circuit.
+type Schedule struct {
+	NumQubits int
+	Ops       []Op
+	Makespan  time.Duration
+}
+
+// ASAP schedules every gate at the earliest time all its operands are
+// free. Barriers take zero time but synchronize their qubits.
+func ASAP(c *circuit.Circuit) *Schedule {
+	s := &Schedule{NumQubits: c.NumQubits}
+	free := make([]time.Duration, c.NumQubits)
+	for gi, g := range c.Gates {
+		start := time.Duration(0)
+		for _, q := range g.Qubits {
+			if free[q] > start {
+				start = free[q]
+			}
+		}
+		end := start + g.Kind.Duration()
+		for _, q := range g.Qubits {
+			free[q] = end
+		}
+		if g.Kind == gate.Barrier {
+			continue // synchronizes, occupies no slot
+		}
+		s.Ops = append(s.Ops, Op{GateIndex: gi, Kind: g.Kind, Qubits: append([]int(nil), g.Qubits...), Start: start, End: end})
+		if end > s.Makespan {
+			s.Makespan = end
+		}
+	}
+	return s
+}
+
+// window returns the first operation start and last operation end per
+// qubit (-1 duration when the qubit is unused).
+func (s *Schedule) window(q int) (first, last time.Duration, used bool) {
+	first, last = time.Duration(1<<62), 0
+	for _, op := range s.Ops {
+		for _, oq := range op.Qubits {
+			if oq != q {
+				continue
+			}
+			if op.Start < first {
+				first = op.Start
+			}
+			if op.End > last {
+				last = op.End
+			}
+			used = true
+		}
+	}
+	return first, last, used
+}
+
+// BusyTime returns the total time qubit q spends executing operations.
+func (s *Schedule) BusyTime(q int) time.Duration {
+	var busy time.Duration
+	for _, op := range s.Ops {
+		for _, oq := range op.Qubits {
+			if oq == q {
+				busy += op.End - op.Start
+			}
+		}
+	}
+	return busy
+}
+
+// IdleTime returns the idle duration of qubit q inside its active window
+// (first operation start to last operation end): the exposure the
+// decoherence model charges. Unused qubits idle for zero time.
+func (s *Schedule) IdleTime(q int) time.Duration {
+	first, last, used := s.window(q)
+	if !used {
+		return 0
+	}
+	return (last - first) - s.BusyTime(q)
+}
+
+// IdleTimes returns IdleTime for every qubit.
+func (s *Schedule) IdleTimes() []time.Duration {
+	out := make([]time.Duration, s.NumQubits)
+	for q := range out {
+		out[q] = s.IdleTime(q)
+	}
+	return out
+}
+
+// Utilization is the fraction of qubit-time spent executing operations,
+// over used qubits' active windows. Zero for an empty schedule.
+func (s *Schedule) Utilization() float64 {
+	var busy, window time.Duration
+	for q := 0; q < s.NumQubits; q++ {
+		first, last, used := s.window(q)
+		if !used {
+			continue
+		}
+		busy += s.BusyTime(q)
+		window += last - first
+	}
+	if window == 0 {
+		return 0
+	}
+	return float64(busy) / float64(window)
+}
+
+// Timeline renders an ASCII Gantt chart (one row per qubit, one column
+// per timeStep), for CLI inspection. Columns are capped at maxCols with
+// truncation marked by '…'.
+func (s *Schedule) Timeline(timeStep time.Duration, maxCols int) string {
+	if timeStep <= 0 {
+		timeStep = 100 * time.Nanosecond
+	}
+	if maxCols <= 0 {
+		maxCols = 120
+	}
+	cols := int(s.Makespan/timeStep) + 1
+	truncated := false
+	if cols > maxCols {
+		cols = maxCols
+		truncated = true
+	}
+	grid := make([][]byte, s.NumQubits)
+	for q := range grid {
+		grid[q] = []byte(strings.Repeat(".", cols))
+	}
+	for _, op := range s.Ops {
+		c0 := int(op.Start / timeStep)
+		c1 := int((op.End - 1) / timeStep)
+		sym := symbol(op.Kind)
+		for c := c0; c <= c1 && c < cols; c++ {
+			for _, q := range op.Qubits {
+				grid[q][c] = sym
+			}
+		}
+	}
+	var b strings.Builder
+	for q := range grid {
+		fmt.Fprintf(&b, "q%-3d %s", q, grid[q])
+		if truncated {
+			b.WriteString("…")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func symbol(k gate.Kind) byte {
+	switch {
+	case k == gate.SWAP:
+		return 'S'
+	case k == gate.Measure:
+		return 'M'
+	case k.TwoQubit():
+		return 'C'
+	default:
+		return 'u'
+	}
+}
+
+// CriticalPath returns the chain of operations realizing the makespan:
+// walking back from the last-finishing op through the operand that
+// constrained each start time.
+func (s *Schedule) CriticalPath() []Op {
+	if len(s.Ops) == 0 {
+		return nil
+	}
+	// Sort op indices by end time to find the last.
+	order := make([]int, len(s.Ops))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return s.Ops[order[i]].End > s.Ops[order[j]].End })
+	var path []Op
+	cur := order[0]
+	for {
+		path = append(path, s.Ops[cur])
+		if s.Ops[cur].Start == 0 {
+			break
+		}
+		// Find the op ending exactly at cur's start on one of its qubits.
+		prev := -1
+		for i, op := range s.Ops {
+			if op.End != s.Ops[cur].Start {
+				continue
+			}
+			for _, q := range op.Qubits {
+				for _, cq := range s.Ops[cur].Qubits {
+					if q == cq {
+						prev = i
+					}
+				}
+			}
+		}
+		if prev == -1 {
+			break
+		}
+		cur = prev
+	}
+	// Reverse to chronological order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}

@@ -1,0 +1,208 @@
+package schedule
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"vaq/internal/circuit"
+	"vaq/internal/gate"
+)
+
+func TestASAPSequentialChain(t *testing.T) {
+	// h(0); cx(0,1); measure(1): strictly sequential on shared qubits.
+	c := circuit.New("chain", 2).H(0).CX(0, 1).Measure(1, 0)
+	s := ASAP(c)
+	if len(s.Ops) != 3 {
+		t.Fatalf("ops = %d, want 3", len(s.Ops))
+	}
+	h, cx, m := s.Ops[0], s.Ops[1], s.Ops[2]
+	if h.Start != 0 || h.End != 100*time.Nanosecond {
+		t.Fatalf("h timing = %v-%v", h.Start, h.End)
+	}
+	if cx.Start != h.End || cx.End != h.End+300*time.Nanosecond {
+		t.Fatalf("cx timing = %v-%v", cx.Start, cx.End)
+	}
+	if m.Start != cx.End {
+		t.Fatalf("measure start = %v, want %v", m.Start, cx.End)
+	}
+	if s.Makespan != m.End {
+		t.Fatalf("makespan = %v, want %v", s.Makespan, m.End)
+	}
+}
+
+func TestASAPBeatsLayerQuantization(t *testing.T) {
+	// Two h gates on qubit 0 while a cx runs on 1,2: layered duration
+	// would charge two full layers; ASAP lets the h gates run back to
+	// back under the cx.
+	c := circuit.New("p", 3).H(0).H(0).CX(1, 2)
+	s := ASAP(c)
+	if s.Makespan != 300*time.Nanosecond {
+		t.Fatalf("makespan = %v, want 300ns (cx dominates)", s.Makespan)
+	}
+	if got := c.Duration(); got <= s.Makespan {
+		t.Fatalf("layered duration %v should exceed ASAP makespan %v here", got, s.Makespan)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	// Without barrier h(1) starts at 0; with it, after h(0).
+	c := circuit.New("b", 2).H(0).Barrier().H(1)
+	s := ASAP(c)
+	if len(s.Ops) != 2 {
+		t.Fatalf("barrier should not occupy a slot: %d ops", len(s.Ops))
+	}
+	if s.Ops[1].Start != 100*time.Nanosecond {
+		t.Fatalf("post-barrier start = %v, want 100ns", s.Ops[1].Start)
+	}
+}
+
+func TestIdleTime(t *testing.T) {
+	// Qubit 1 waits from its first gate at t=0... construct: h(1) at 0,
+	// then qubit 1 idles while qubit 0 runs 3 h gates, then cx(0,1).
+	c := circuit.New("i", 2).H(1).H(0).H(0).H(0).CX(0, 1)
+	s := ASAP(c)
+	// Qubit 1: h [0,100), idle [100,300), cx [300,600).
+	if got := s.IdleTime(1); got != 200*time.Nanosecond {
+		t.Fatalf("idle(1) = %v, want 200ns", got)
+	}
+	if got := s.IdleTime(0); got != 0 {
+		t.Fatalf("idle(0) = %v, want 0 (always busy)", got)
+	}
+}
+
+func TestIdleTimeUnusedQubit(t *testing.T) {
+	c := circuit.New("u", 3).H(0)
+	s := ASAP(c)
+	if got := s.IdleTime(2); got != 0 {
+		t.Fatalf("unused qubit idle = %v, want 0", got)
+	}
+}
+
+func TestBusyTime(t *testing.T) {
+	c := circuit.New("b", 2).H(0).CX(0, 1)
+	s := ASAP(c)
+	if got := s.BusyTime(0); got != 400*time.Nanosecond {
+		t.Fatalf("busy(0) = %v, want 400ns", got)
+	}
+	if got := s.BusyTime(1); got != 300*time.Nanosecond {
+		t.Fatalf("busy(1) = %v, want 300ns", got)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	full := ASAP(circuit.New("f", 1).H(0).H(0))
+	if u := full.Utilization(); u != 1 {
+		t.Fatalf("fully busy utilization = %v, want 1", u)
+	}
+	if u := ASAP(circuit.New("e", 1)).Utilization(); u != 0 {
+		t.Fatalf("empty utilization = %v, want 0", u)
+	}
+}
+
+func TestMakespanNeverExceedsLayeredDuration(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		c := circuit.New("r", n)
+		for i := 0; i < 30; i++ {
+			a := rng.Intn(n)
+			switch rng.Intn(3) {
+			case 0:
+				c.H(a)
+			case 1:
+				b := (a + 1 + rng.Intn(n-1)) % n
+				c.CX(a, b)
+			default:
+				c.Measure(a, a)
+			}
+		}
+		s := ASAP(c)
+		return s.Makespan <= c.Duration()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchedulePreservesPerQubitOrderProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		c := circuit.New("r", n)
+		for i := 0; i < 25; i++ {
+			a := rng.Intn(n)
+			b := (a + 1 + rng.Intn(n-1)) % n
+			c.CX(a, b)
+		}
+		s := ASAP(c)
+		// Ops touching the same qubit must not overlap and must appear in
+		// gate order.
+		for q := 0; q < n; q++ {
+			var prevEnd time.Duration
+			var prevIdx = -1
+			for _, op := range s.Ops {
+				touches := false
+				for _, oq := range op.Qubits {
+					if oq == q {
+						touches = true
+					}
+				}
+				if !touches {
+					continue
+				}
+				if op.Start < prevEnd || op.GateIndex < prevIdx {
+					return false
+				}
+				prevEnd = op.End
+				prevIdx = op.GateIndex
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	c := circuit.New("t", 2).H(0).CX(0, 1).Swap(0, 1).Measure(0, 0)
+	s := ASAP(c)
+	tl := s.Timeline(100*time.Nanosecond, 200)
+	for _, sym := range []string{"u", "C", "S", "M", "q0", "q1"} {
+		if !strings.Contains(tl, sym) {
+			t.Fatalf("timeline missing %q:\n%s", sym, tl)
+		}
+	}
+	// Truncation path.
+	long := circuit.New("l", 1)
+	for i := 0; i < 300; i++ {
+		long.H(0)
+	}
+	tl = ASAP(long).Timeline(100*time.Nanosecond, 50)
+	if !strings.Contains(tl, "…") {
+		t.Fatal("long timeline not truncated")
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	c := circuit.New("cp", 3).H(0).CX(0, 1).CX(1, 2).Measure(2, 0)
+	s := ASAP(c)
+	path := s.CriticalPath()
+	if len(path) != 4 {
+		t.Fatalf("critical path length = %d, want 4", len(path))
+	}
+	if path[0].Kind != gate.H || path[len(path)-1].Kind != gate.Measure {
+		t.Fatalf("critical path endpoints wrong: %v ... %v", path[0].Kind, path[len(path)-1].Kind)
+	}
+	for i := 1; i < len(path); i++ {
+		if path[i].Start < path[i-1].End {
+			t.Fatal("critical path not chronological")
+		}
+	}
+	if ASAP(circuit.New("e", 1)).CriticalPath() != nil {
+		t.Fatal("empty schedule should have no critical path")
+	}
+}

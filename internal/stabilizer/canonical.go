@@ -1,0 +1,98 @@
+package stabilizer
+
+// Canonical returns a canonical form of the stabilizer group: the
+// generators as (x|z|r) bit rows reduced to a unique row-echelon form by
+// Gaussian elimination over GF(2), with phase bits carried through the
+// row operations. Two states are equal as quantum states iff their
+// canonical forms are identical, because the stabilizer group (with
+// signs) determines the state uniquely.
+func (s *State) Canonical() [][]bool {
+	n := s.n
+	// Working copy of the stabilizer rows only.
+	rows := make([]*scratch, n)
+	for i := 0; i < n; i++ {
+		rows[i] = &scratch{
+			x: append([]bool(nil), s.x[n+i]...),
+			z: append([]bool(nil), s.z[n+i]...),
+			r: s.r[n+i],
+		}
+	}
+	// multiply row a by row b (a ← a·b) with correct phase tracking.
+	mul := func(a, b *scratch) {
+		phase := 0
+		if a.r {
+			phase += 2
+		}
+		if b.r {
+			phase += 2
+		}
+		for j := 0; j < n; j++ {
+			phase += g(b.x[j], b.z[j], a.x[j], a.z[j])
+		}
+		phase = ((phase % 4) + 4) % 4
+		a.r = phase == 2
+		for j := 0; j < n; j++ {
+			a.x[j] = a.x[j] != b.x[j]
+			a.z[j] = a.z[j] != b.z[j]
+		}
+	}
+
+	// Reduced row echelon form over GF(2) with the column order
+	// x_0..x_{n−1}, z_0..z_{n−1}. RREF is unique for a given row space,
+	// and the sign of every group element is determined by the group, so
+	// the result is a canonical form of the state. bit(row, col) reads
+	// the combined column.
+	bit := func(row *scratch, col int) bool {
+		if col < n {
+			return row.x[col]
+		}
+		return row.z[col-n]
+	}
+	rank := 0
+	for col := 0; col < 2*n && rank < n; col++ {
+		pivot := -1
+		for i := rank; i < n; i++ {
+			if bit(rows[i], col) {
+				pivot = i
+				break
+			}
+		}
+		if pivot == -1 {
+			continue
+		}
+		rows[rank], rows[pivot] = rows[pivot], rows[rank]
+		for i := 0; i < n; i++ {
+			if i != rank && bit(rows[i], col) {
+				mul(rows[i], rows[rank])
+			}
+		}
+		rank++
+	}
+
+	out := make([][]bool, n)
+	for i, row := range rows {
+		bits := make([]bool, 0, 2*n+1)
+		bits = append(bits, row.x...)
+		bits = append(bits, row.z...)
+		bits = append(bits, row.r)
+		out[i] = bits
+	}
+	return out
+}
+
+// Equal reports whether two states on the same number of qubits are the
+// same quantum state.
+func Equal(a, b *State) bool {
+	if a.n != b.n {
+		return false
+	}
+	ca, cb := a.Canonical(), b.Canonical()
+	for i := range ca {
+		for j := range ca[i] {
+			if ca[i][j] != cb[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,443 @@
+package stabilizer
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vaq/internal/circuit"
+	"vaq/internal/gate"
+	"vaq/internal/workloads"
+)
+
+func TestNewIsAllZeros(t *testing.T) {
+	s := New(3)
+	for q := 0; q < 3; q++ {
+		out, det := s.MeasureZ(q, nil)
+		if !det || out != 0 {
+			t.Fatalf("fresh qubit %d measured %d (det=%v), want deterministic 0", q, out, det)
+		}
+	}
+}
+
+func TestNewPanicsOnZeroQubits(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestXFlipsOutcome(t *testing.T) {
+	s := New(2)
+	s.X(1)
+	if out, det := s.MeasureZ(1, nil); !det || out != 1 {
+		t.Fatalf("X|0> measured %d det=%v, want 1 deterministic", out, det)
+	}
+	if out, det := s.MeasureZ(0, nil); !det || out != 0 {
+		t.Fatalf("untouched qubit measured %d det=%v", out, det)
+	}
+}
+
+func TestXTwiceIsIdentity(t *testing.T) {
+	s := New(1)
+	s.X(0)
+	s.X(0)
+	if out, det := s.MeasureZ(0, nil); !det || out != 0 {
+		t.Fatalf("XX|0> = %d det=%v, want 0", out, det)
+	}
+}
+
+func TestHCreatesSuperposition(t *testing.T) {
+	s := New(1)
+	s.H(0)
+	rng := rand.New(rand.NewSource(1))
+	_, det := s.MeasureZ(0, rng)
+	if det {
+		t.Fatal("H|0> measurement should be random")
+	}
+	// After collapse the outcome repeats deterministically.
+	first, _ := s.Clone().MeasureZ(0, rng)
+	again, det2 := s.MeasureZ(0, rng)
+	_ = first
+	if !det2 {
+		// The first MeasureZ above already collapsed s? No: we measured a
+		// clone; the original collapsed at the initial MeasureZ call.
+		t.Fatal("post-collapse measurement should be deterministic")
+	}
+	third, det3 := s.MeasureZ(0, rng)
+	if !det3 || third != again {
+		t.Fatal("repeated measurement changed outcome")
+	}
+}
+
+func TestHHIsIdentity(t *testing.T) {
+	s := New(1)
+	s.H(0)
+	s.H(0)
+	if out, det := s.MeasureZ(0, nil); !det || out != 0 {
+		t.Fatalf("HH|0> = %d det=%v, want deterministic 0", out, det)
+	}
+}
+
+func TestBellPairCorrelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ones := 0
+	const shots = 200
+	for i := 0; i < shots; i++ {
+		s := New(2)
+		s.H(0)
+		s.CX(0, 1)
+		a, detA := s.MeasureZ(0, rng)
+		b, detB := s.MeasureZ(1, rng)
+		if detA {
+			t.Fatal("first Bell measurement should be random")
+		}
+		if !detB {
+			t.Fatal("second Bell measurement should be determined by the first")
+		}
+		if a != b {
+			t.Fatalf("Bell pair outcomes disagree: %d vs %d", a, b)
+		}
+		ones += a
+	}
+	if ones < shots/4 || ones > 3*shots/4 {
+		t.Fatalf("Bell outcomes biased: %d/%d ones", ones, shots)
+	}
+}
+
+func TestGHZAllEqual(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		s := New(4)
+		s.H(0)
+		s.CX(0, 1)
+		s.CX(1, 2)
+		s.CX(2, 3)
+		first, _ := s.MeasureZ(0, rng)
+		for q := 1; q < 4; q++ {
+			v, det := s.MeasureZ(q, rng)
+			if !det || v != first {
+				t.Fatalf("GHZ qubit %d = %d (det=%v), want %d", q, v, det, first)
+			}
+		}
+	}
+}
+
+func TestZPhaseKickback(t *testing.T) {
+	// HZH = X.
+	s := New(1)
+	s.H(0)
+	s.Z(0)
+	s.H(0)
+	if out, det := s.MeasureZ(0, nil); !det || out != 1 {
+		t.Fatalf("HZH|0> = %d det=%v, want 1", out, det)
+	}
+}
+
+func TestSSEqualsZ(t *testing.T) {
+	a := New(1)
+	a.H(0)
+	a.S(0)
+	a.S(0)
+	b := New(1)
+	b.H(0)
+	b.Z(0)
+	if !Equal(a, b) {
+		t.Fatal("SS != Z on |+>")
+	}
+}
+
+func TestSdgInvertsS(t *testing.T) {
+	a := New(2)
+	a.H(0)
+	a.CX(0, 1)
+	b := a.Clone()
+	b.S(1)
+	b.Sdg(1)
+	if !Equal(a, b) {
+		t.Fatal("S then Sdg changed the state")
+	}
+}
+
+func TestYEqualsXZUpToPhase(t *testing.T) {
+	// On stabilizer states, Y and Z·X differ only by global phase, which
+	// the tableau does not track for the state itself; measurement
+	// statistics must agree.
+	a := New(1)
+	a.H(0)
+	a.Y(0)
+	b := New(1)
+	b.H(0)
+	b.Z(0)
+	b.X(0)
+	if !Equal(a, b) {
+		t.Fatal("Y and ZX differ beyond global phase on |+>")
+	}
+}
+
+func TestCZSymmetric(t *testing.T) {
+	a := New(2)
+	a.H(0)
+	a.H(1)
+	a.CZ(0, 1)
+	b := New(2)
+	b.H(0)
+	b.H(1)
+	b.CZ(1, 0)
+	if !Equal(a, b) {
+		t.Fatal("CZ not symmetric")
+	}
+}
+
+func TestSwapMovesState(t *testing.T) {
+	s := New(3)
+	s.X(0)
+	s.Swap(0, 2)
+	if out, _ := s.MeasureZ(0, nil); out != 0 {
+		t.Fatal("qubit 0 should be |0> after swap")
+	}
+	if out, _ := s.MeasureZ(2, nil); out != 1 {
+		t.Fatal("qubit 2 should hold the |1>")
+	}
+}
+
+func TestCXSelfOperandPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CX(q,q) did not panic")
+		}
+	}()
+	New(2).CX(1, 1)
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range qubit did not panic")
+		}
+	}()
+	New(2).H(5)
+}
+
+func TestApplyCircuitGates(t *testing.T) {
+	c := circuit.New("bell", 2).H(0).CX(0, 1).MeasureAll()
+	s, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := New(2)
+	want.H(0)
+	want.CX(0, 1)
+	if !Equal(s, want) {
+		t.Fatal("Run did not reproduce manual application")
+	}
+}
+
+func TestApplyRejectsNonClifford(t *testing.T) {
+	s := New(1)
+	g := circuit.NewGate1(gate.T, 0)
+	if err := s.Apply(g); err == nil {
+		t.Fatal("T gate accepted by stabilizer simulator")
+	}
+	c := circuit.New("t", 1).T(0)
+	if _, err := Run(c); err == nil {
+		t.Fatal("Run accepted non-Clifford circuit")
+	}
+}
+
+func TestIsClifford(t *testing.T) {
+	if !IsClifford(workloads.BV(8)) {
+		t.Fatal("BV should be Clifford")
+	}
+	if !IsClifford(workloads.GHZ(3)) || !IsClifford(workloads.TriSwap()) {
+		t.Fatal("GHZ/TriSwap should be Clifford")
+	}
+	if IsClifford(workloads.QFT(4)) {
+		t.Fatal("QFT uses non-Clifford phases")
+	}
+	if IsClifford(workloads.ALU()) {
+		t.Fatal("ALU uses T gates")
+	}
+}
+
+func TestEqualDifferentSizes(t *testing.T) {
+	if Equal(New(2), New(3)) {
+		t.Fatal("states of different sizes reported equal")
+	}
+}
+
+func TestEqualDetectsDifference(t *testing.T) {
+	a := New(2)
+	b := New(2)
+	b.X(0)
+	if Equal(a, b) {
+		t.Fatal("|00> equal to |10>")
+	}
+	b.X(0)
+	if !Equal(a, b) {
+		t.Fatal("states should match after undoing X")
+	}
+}
+
+func TestEqualInvariantUnderGeneratorChange(t *testing.T) {
+	// Same state prepared two different ways: |00>+|11> via (H0,CX01) and
+	// via (H1,CX10) — identical state, different tableau history.
+	a := New(2)
+	a.H(0)
+	a.CX(0, 1)
+	b := New(2)
+	b.H(1)
+	b.CX(1, 0)
+	if !Equal(a, b) {
+		t.Fatal("Bell state prepared two ways reported different")
+	}
+}
+
+func TestCliffordIdentitiesProperty(t *testing.T) {
+	// Random Clifford circuit followed by its inverse returns to |0…0>.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		s := New(n)
+		type op struct {
+			kind int
+			a, b int
+		}
+		var ops []op
+		for i := 0; i < 30; i++ {
+			a := rng.Intn(n)
+			b := (a + 1 + rng.Intn(n-1)) % n
+			k := rng.Intn(4)
+			ops = append(ops, op{k, a, b})
+			switch k {
+			case 0:
+				s.H(a)
+			case 1:
+				s.S(a)
+			case 2:
+				s.CX(a, b)
+			case 3:
+				s.X(a)
+			}
+		}
+		for i := len(ops) - 1; i >= 0; i-- {
+			o := ops[i]
+			switch o.kind {
+			case 0:
+				s.H(o.a)
+			case 1:
+				s.Sdg(o.a)
+			case 2:
+				s.CX(o.a, o.b)
+			case 3:
+				s.X(o.a)
+			}
+		}
+		return Equal(s, New(n))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeasurementIdempotentProperty(t *testing.T) {
+	// Measuring the same qubit twice gives the same outcome, and the
+	// second is deterministic.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		s := New(n)
+		for i := 0; i < 20; i++ {
+			a := rng.Intn(n)
+			b := (a + 1 + rng.Intn(n-1)) % n
+			switch rng.Intn(3) {
+			case 0:
+				s.H(a)
+			case 1:
+				s.S(a)
+			case 2:
+				s.CX(a, b)
+			}
+		}
+		q := rng.Intn(n)
+		first, _ := s.MeasureZ(q, rng)
+		second, det := s.MeasureZ(q, rng)
+		return det && first == second
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBVOutcomeIsSecret(t *testing.T) {
+	// Bernstein–Vazirani with the all-ones secret: every data qubit must
+	// deterministically measure 1.
+	for _, n := range []int{3, 4, 8, 16} {
+		prog := workloads.BV(n)
+		s, err := Run(prog)
+		if err != nil {
+			t.Fatalf("bv-%d: %v", n, err)
+		}
+		rng := rand.New(rand.NewSource(1))
+		for q := 0; q < n-1; q++ {
+			out, det := s.MeasureZ(q, rng)
+			if !det || out != 1 {
+				t.Fatalf("bv-%d data qubit %d = %d (det=%v), want deterministic 1", n, q, out, det)
+			}
+		}
+	}
+}
+
+func TestTriSwapOutcome(t *testing.T) {
+	// TriSwap rotates X|0> through the cycle; trace where the 1 ends up.
+	s, err := Run(workloads.TriSwap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	ones := 0
+	for q := 0; q < 3; q++ {
+		out, det := s.MeasureZ(q, rng)
+		if !det {
+			t.Fatalf("TriSwap outcome for qubit %d not deterministic", q)
+		}
+		ones += out
+	}
+	if ones != 1 {
+		t.Fatalf("TriSwap should hold exactly one excited qubit, got %d", ones)
+	}
+}
+
+func TestStringRendersPaulis(t *testing.T) {
+	s := New(2)
+	s.H(0)
+	s.CX(0, 1)
+	str := s.String()
+	// Bell stabilizers: +XX, +ZZ in some order.
+	if len(str) == 0 {
+		t.Fatal("empty stabilizer rendering")
+	}
+	for _, want := range []string{"XX", "ZZ"} {
+		found := false
+		for _, line := range []string{str[:4], str[4:]} {
+			if len(line) >= 3 && line[1:3] == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("stabilizer rendering missing %s:\n%s", want, str)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := New(2)
+	s.H(0)
+	c := s.Clone()
+	c.X(1)
+	if Equal(s, c) {
+		t.Fatal("mutating clone affected original (or Equal broken)")
+	}
+}

@@ -1,0 +1,248 @@
+// Package transpile provides circuit-rewriting passes that shrink a
+// program before (and after) mapping: cancellation of adjacent inverse
+// pairs (H·H, X·X, CX·CX, SWAP·SWAP, S·S†, T·T†), merging of same-axis
+// rotations, and removal of trivial gates. Every eliminated gate is one
+// fewer chance to fail, so optimization composes with the paper's
+// variation-aware policies: first make the circuit small, then map it
+// onto the strong qubits.
+//
+// Passes preserve circuit semantics exactly; the test suite proves it
+// with stabilizer-state equivalence on Clifford programs and unitary
+// bookkeeping on rotation merges.
+package transpile
+
+import (
+	"math"
+
+	"vaq/internal/circuit"
+	"vaq/internal/gate"
+)
+
+// Pass rewrites a circuit into an equivalent (hopefully smaller) one.
+// Passes never mutate their input.
+type Pass interface {
+	Name() string
+	Apply(*circuit.Circuit) *circuit.Circuit
+}
+
+// inversePairs lists self-inverse kinds and inverse pairs.
+func inverses(a, b circuit.Gate) bool {
+	if len(a.Qubits) != len(b.Qubits) {
+		return false
+	}
+	sameOrdered := true
+	for i := range a.Qubits {
+		if a.Qubits[i] != b.Qubits[i] {
+			sameOrdered = false
+			break
+		}
+	}
+	sameUnordered := sameOrdered
+	if !sameUnordered && len(a.Qubits) == 2 {
+		sameUnordered = a.Qubits[0] == b.Qubits[1] && a.Qubits[1] == b.Qubits[0]
+	}
+	switch {
+	case a.Kind == b.Kind && selfInverse(a.Kind):
+		// CX requires matching control/target; CZ and SWAP are symmetric.
+		if a.Kind == gate.CZ || a.Kind == gate.SWAP {
+			return sameUnordered
+		}
+		return sameOrdered
+	case a.Kind == gate.S && b.Kind == gate.Sdg, a.Kind == gate.Sdg && b.Kind == gate.S:
+		return sameOrdered
+	case a.Kind == gate.T && b.Kind == gate.Tdg, a.Kind == gate.Tdg && b.Kind == gate.T:
+		return sameOrdered
+	}
+	return false
+}
+
+func selfInverse(k gate.Kind) bool {
+	switch k {
+	case gate.H, gate.X, gate.Y, gate.Z, gate.CX, gate.CZ, gate.SWAP:
+		return true
+	}
+	return false
+}
+
+// CancelInverses removes adjacent inverse pairs: two gates cancel when
+// they are inverses of each other and no intervening gate touches any of
+// their qubits. The scan uses per-qubit last-gate tracking, so a
+// cancellation can expose another (handled by the surrounding fixpoint in
+// Optimize).
+type CancelInverses struct{}
+
+func (CancelInverses) Name() string { return "cancel-inverses" }
+
+func (CancelInverses) Apply(c *circuit.Circuit) *circuit.Circuit {
+	out := make([]circuit.Gate, 0, len(c.Gates))
+	removed := make([]bool, 0, len(c.Gates))
+	last := make([]int, c.NumQubits) // index into out of last live gate per qubit
+	for i := range last {
+		last[i] = -1
+	}
+	for _, g := range c.Gates {
+		if g.Kind == gate.Barrier || g.Kind == gate.Measure {
+			out = append(out, cloneGate(g))
+			removed = append(removed, false)
+			for _, q := range g.Qubits {
+				last[q] = len(out) - 1
+			}
+			continue
+		}
+		// Candidate: the previous live gate must be identical across all
+		// operands and must be an inverse.
+		cand := -1
+		ok := true
+		for _, q := range g.Qubits {
+			j := liveLast(last[q], removed)
+			if cand == -1 {
+				cand = j
+			}
+			if j == -1 || j != cand {
+				ok = false
+				break
+			}
+		}
+		if ok && cand >= 0 && !removed[cand] &&
+			len(out[cand].Qubits) == len(g.Qubits) && inverses(out[cand], g) {
+			// The candidate's qubit set must equal g's exactly (a 1q gate
+			// following a 2q gate shares history but must not cancel it).
+			removed[cand] = true
+			continue
+		}
+		out = append(out, cloneGate(g))
+		removed = append(removed, false)
+		for _, q := range g.Qubits {
+			last[q] = len(out) - 1
+		}
+	}
+	res := circuit.New(c.Name, c.NumQubits)
+	res.NumCBits = c.NumCBits
+	for i, g := range out {
+		if !removed[i] {
+			res.Append(g)
+		}
+	}
+	return res
+}
+
+// liveLast walks back past removed gates. Because `last` may point at a
+// removed entry after a cancellation, resolve to -1 in that case: the
+// conservative answer (no candidate) keeps the pass sound; the fixpoint
+// loop picks up newly exposed pairs on the next iteration.
+func liveLast(idx int, removed []bool) int {
+	if idx >= 0 && removed[idx] {
+		return -1
+	}
+	return idx
+}
+
+// MergeRotations fuses adjacent same-axis rotations on the same qubit
+// (RZ·RZ, RX·RX, RY·RY, U1·U1) by summing angles, and drops rotations
+// whose angle is ≡ 0 (mod 2π).
+type MergeRotations struct{}
+
+func (MergeRotations) Name() string { return "merge-rotations" }
+
+func (MergeRotations) Apply(c *circuit.Circuit) *circuit.Circuit {
+	mergeable := func(k gate.Kind) bool {
+		return k == gate.RZ || k == gate.RX || k == gate.RY || k == gate.U1
+	}
+	out := make([]circuit.Gate, 0, len(c.Gates))
+	last := make([]int, c.NumQubits)
+	for i := range last {
+		last[i] = -1
+	}
+	for _, g := range c.Gates {
+		if mergeable(g.Kind) {
+			q := g.Qubits[0]
+			if j := last[q]; j >= 0 && out[j].Kind == g.Kind {
+				out[j].Param = normalizeAngle(out[j].Param + g.Param)
+				continue
+			}
+		}
+		out = append(out, cloneGate(g))
+		for _, q := range g.Qubits {
+			last[q] = -1
+			if mergeable(g.Kind) {
+				last[q] = len(out) - 1
+			}
+		}
+	}
+	res := circuit.New(c.Name, c.NumQubits)
+	res.NumCBits = c.NumCBits
+	for _, g := range out {
+		if mergeable(g.Kind) && isZeroAngle(g.Param) {
+			continue
+		}
+		res.Append(g)
+	}
+	return res
+}
+
+// RemoveTrivial drops identity gates and zero-angle rotations.
+type RemoveTrivial struct{}
+
+func (RemoveTrivial) Name() string { return "remove-trivial" }
+
+func (RemoveTrivial) Apply(c *circuit.Circuit) *circuit.Circuit {
+	res := circuit.New(c.Name, c.NumQubits)
+	res.NumCBits = c.NumCBits
+	for _, g := range c.Gates {
+		if g.Kind == gate.I {
+			continue
+		}
+		if g.Kind.Parameterized() && isZeroAngle(g.Param) {
+			continue
+		}
+		res.Append(cloneGate(g))
+	}
+	return res
+}
+
+func normalizeAngle(a float64) float64 {
+	a = math.Mod(a, 2*math.Pi)
+	if a > math.Pi {
+		a -= 2 * math.Pi
+	}
+	if a <= -math.Pi {
+		a += 2 * math.Pi
+	}
+	return a
+}
+
+func isZeroAngle(a float64) bool {
+	return math.Abs(normalizeAngle(a)) < 1e-12
+}
+
+func cloneGate(g circuit.Gate) circuit.Gate {
+	qs := make([]int, len(g.Qubits))
+	copy(qs, g.Qubits)
+	return circuit.Gate{Kind: g.Kind, Qubits: qs, Param: g.Param, CBit: g.CBit}
+}
+
+// DefaultPasses is the standard pipeline order.
+func DefaultPasses() []Pass {
+	return []Pass{RemoveTrivial{}, MergeRotations{}, CancelInverses{}}
+}
+
+// Optimize runs the passes to a fixpoint (bounded at 20 rounds, far more
+// than any real circuit needs) and returns the rewritten circuit plus the
+// number of gates eliminated.
+func Optimize(c *circuit.Circuit, passes ...Pass) (*circuit.Circuit, int) {
+	if len(passes) == 0 {
+		passes = DefaultPasses()
+	}
+	before := len(c.Gates)
+	cur := c
+	for round := 0; round < 20; round++ {
+		n := len(cur.Gates)
+		for _, p := range passes {
+			cur = p.Apply(cur)
+		}
+		if len(cur.Gates) == n {
+			break
+		}
+	}
+	return cur, before - len(cur.Gates)
+}

@@ -1,0 +1,247 @@
+package transpile
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vaq/internal/circuit"
+	"vaq/internal/gate"
+	"vaq/internal/stabilizer"
+)
+
+func TestCancelAdjacentHH(t *testing.T) {
+	c := circuit.New("hh", 1).H(0).H(0)
+	out, removed := Optimize(c)
+	if len(out.Gates) != 0 || removed != 2 {
+		t.Fatalf("HH not cancelled: %d gates left, %d removed", len(out.Gates), removed)
+	}
+}
+
+func TestCancelCXPair(t *testing.T) {
+	c := circuit.New("cc", 2).CX(0, 1).CX(0, 1)
+	out, _ := Optimize(c)
+	if len(out.Gates) != 0 {
+		t.Fatalf("CX pair not cancelled: %v", out.Gates)
+	}
+}
+
+func TestCXDirectionMatters(t *testing.T) {
+	c := circuit.New("cd", 2).CX(0, 1).CX(1, 0)
+	out, _ := Optimize(c)
+	if len(out.Gates) != 2 {
+		t.Fatalf("reversed CX pair wrongly cancelled: %v", out.Gates)
+	}
+}
+
+func TestSwapOrderIrrelevant(t *testing.T) {
+	c := circuit.New("s", 2).Swap(0, 1).Append(circuit.NewGate2(gate.SWAP, 1, 0))
+	out, _ := Optimize(c)
+	if len(out.Gates) != 0 {
+		t.Fatalf("SWAP pair (reversed operands) not cancelled: %v", out.Gates)
+	}
+}
+
+func TestSTdgPairs(t *testing.T) {
+	c := circuit.New("st", 1).S(0).Sdg(0).T(0).Tdg(0)
+	out, _ := Optimize(c)
+	if len(out.Gates) != 0 {
+		t.Fatalf("S/Sdg and T/Tdg pairs not cancelled: %v", out.Gates)
+	}
+}
+
+func TestInterveningGateBlocksCancellation(t *testing.T) {
+	c := circuit.New("i", 1).H(0).X(0).H(0)
+	out, _ := Optimize(c)
+	if len(out.Gates) != 3 {
+		t.Fatalf("HXH wrongly reduced: %v", out.Gates)
+	}
+}
+
+func TestDisjointGateDoesNotBlock(t *testing.T) {
+	c := circuit.New("d", 2).H(0).X(1).H(0)
+	out, _ := Optimize(c)
+	if len(out.Gates) != 1 || out.Gates[0].Kind != gate.X {
+		t.Fatalf("HH across disjoint X not cancelled: %v", out.Gates)
+	}
+}
+
+func TestMeasurementBlocksCancellation(t *testing.T) {
+	c := circuit.New("m", 1).H(0).Measure(0, 0).H(0)
+	out, _ := Optimize(c)
+	if len(out.Gates) != 3 {
+		t.Fatalf("HH across a measurement wrongly cancelled: %v", out.Gates)
+	}
+}
+
+func TestCascadingCancellation(t *testing.T) {
+	// CX (HH) CX: inner pair cancels, exposing the outer pair.
+	c := circuit.New("cas", 2).CX(0, 1).H(0).H(0).CX(0, 1)
+	out, removed := Optimize(c)
+	if len(out.Gates) != 0 || removed != 4 {
+		t.Fatalf("cascade failed: %d left, %d removed", len(out.Gates), removed)
+	}
+}
+
+func TestOneQubitGateDoesNotCancelTwoQubitGate(t *testing.T) {
+	c := circuit.New("x", 2).CX(0, 1).X(0)
+	out, _ := Optimize(c)
+	if len(out.Gates) != 2 {
+		t.Fatalf("mismatched-arity cancellation: %v", out.Gates)
+	}
+}
+
+func TestMergeRotations(t *testing.T) {
+	c := circuit.New("r", 1).RZ(0.3, 0).RZ(0.4, 0)
+	out, _ := Optimize(c)
+	if len(out.Gates) != 1 {
+		t.Fatalf("rotations not merged: %v", out.Gates)
+	}
+	if math.Abs(out.Gates[0].Param-0.7) > 1e-12 {
+		t.Fatalf("merged angle = %v, want 0.7", out.Gates[0].Param)
+	}
+}
+
+func TestMergeToZeroDropsGate(t *testing.T) {
+	c := circuit.New("z", 1).RZ(1.1, 0).RZ(-1.1, 0)
+	out, _ := Optimize(c)
+	if len(out.Gates) != 0 {
+		t.Fatalf("zero-sum rotations survived: %v", out.Gates)
+	}
+	// Full turn also cancels.
+	c2 := circuit.New("z2", 1).RZ(math.Pi, 0).RZ(math.Pi, 0)
+	out2, _ := Optimize(c2)
+	if len(out2.Gates) != 0 {
+		t.Fatalf("2π rotation survived: %v", out2.Gates)
+	}
+}
+
+func TestMergeBlockedByInterveningGate(t *testing.T) {
+	c := circuit.New("b", 1).RZ(0.3, 0).H(0).RZ(0.4, 0)
+	out, _ := Optimize(c)
+	if len(out.Gates) != 3 {
+		t.Fatalf("merge across H: %v", out.Gates)
+	}
+}
+
+func TestMixedAxesNotMerged(t *testing.T) {
+	c := circuit.New("mx", 1).RZ(0.3, 0).RX(0.4, 0)
+	out, _ := Optimize(c)
+	if len(out.Gates) != 2 {
+		t.Fatalf("different axes merged: %v", out.Gates)
+	}
+}
+
+func TestRemoveTrivial(t *testing.T) {
+	c := circuit.New("t", 1).
+		Append(circuit.NewGate1(gate.I, 0)).
+		RZ(0, 0).
+		H(0)
+	out, _ := Optimize(c)
+	if len(out.Gates) != 1 || out.Gates[0].Kind != gate.H {
+		t.Fatalf("trivial gates survived: %v", out.Gates)
+	}
+}
+
+func TestOptimizePreservesMeasures(t *testing.T) {
+	c := circuit.New("m", 2).H(0).CX(0, 1).MeasureAll()
+	out, removed := Optimize(c)
+	if removed != 0 {
+		t.Fatalf("optimizer removed necessary gates: %v", out.Gates)
+	}
+	if out.Stats().Measures != 2 {
+		t.Fatalf("measures lost: %+v", out.Stats())
+	}
+	if out.NumCBits != c.NumCBits {
+		t.Fatal("classical register size changed")
+	}
+}
+
+func TestOptimizeDoesNotMutateInput(t *testing.T) {
+	c := circuit.New("orig", 1).H(0).H(0)
+	Optimize(c)
+	if len(c.Gates) != 2 {
+		t.Fatal("Optimize mutated its input")
+	}
+}
+
+func TestOptimizePreservesCliffordSemanticsProperty(t *testing.T) {
+	// The decisive test: on random Clifford circuits (with deliberately
+	// injected cancelling pairs), the optimized circuit prepares exactly
+	// the same stabilizer state.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		c := circuit.New("p", n)
+		for i := 0; i < 40; i++ {
+			a := rng.Intn(n)
+			b := (a + 1 + rng.Intn(n-1)) % n
+			switch rng.Intn(8) {
+			case 0:
+				c.H(a)
+			case 1:
+				c.S(a)
+			case 2:
+				c.Sdg(a)
+			case 3:
+				c.X(a)
+			case 4:
+				c.CX(a, b)
+			case 5:
+				c.Swap(a, b)
+			case 6:
+				c.H(a).H(a) // guaranteed fodder for the canceller
+			case 7:
+				c.CX(a, b).CX(a, b)
+			}
+		}
+		opt, _ := Optimize(c)
+		orig, err1 := stabilizer.Run(c)
+		rewritten, err2 := stabilizer.Run(opt)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return stabilizer.Equal(orig, rewritten)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimizeNeverGrowsCircuitProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		c := circuit.New("g", n)
+		for i := 0; i < 30; i++ {
+			a := rng.Intn(n)
+			b := (a + 1 + rng.Intn(n-1)) % n
+			switch rng.Intn(5) {
+			case 0:
+				c.H(a)
+			case 1:
+				c.RZ(rng.Float64()*4-2, a)
+			case 2:
+				c.CX(a, b)
+			case 3:
+				c.T(a)
+			case 4:
+				c.Measure(a, a)
+			}
+		}
+		opt, removed := Optimize(c)
+		return len(opt.Gates) <= len(c.Gates) && removed == len(c.Gates)-len(opt.Gates)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPassNames(t *testing.T) {
+	for _, p := range DefaultPasses() {
+		if p.Name() == "" {
+			t.Fatal("pass with empty name")
+		}
+	}
+}

@@ -1,0 +1,259 @@
+// Package workloads generates the benchmark circuits of the paper's Table 1
+// and Section 7: the Bernstein–Vazirani kernels, Quantum Fourier
+// Transforms, a reversible-adder ALU kernel, the randomized short- and
+// long-distance CNOT benchmarks, and the small IBM-Q5 kernels (GHZ,
+// TriSwap). All generators are deterministic; the random benchmarks take an
+// explicit seed.
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"vaq/internal/circuit"
+)
+
+// BV returns the n-qubit Bernstein–Vazirani circuit with the all-ones
+// hidden string: n−1 data qubits plus one ancilla (qubit n−1). BV requires
+// one qubit (the ancilla) to entangle with every other — the paper's
+// example of a star-shaped communication pattern.
+func BV(n int) *circuit.Circuit {
+	if n < 2 {
+		panic(fmt.Sprintf("workloads: BV needs ≥ 2 qubits, got %d", n))
+	}
+	c := circuit.New(fmt.Sprintf("bv-%d", n), n)
+	anc := n - 1
+	c.X(anc)
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	for q := 0; q < n-1; q++ {
+		c.CX(q, anc)
+	}
+	for q := 0; q < n-1; q++ {
+		c.H(q)
+	}
+	for q := 0; q < n-1; q++ {
+		c.Measure(q, q)
+	}
+	return c
+}
+
+// QFT returns the n-qubit Quantum Fourier Transform with controlled-phase
+// gates decomposed into the CX + u1 sequence executable on IBM hardware
+// (2 CNOTs and 3 phase rotations per controlled-phase). QFT entangles
+// (almost) all pairs — the paper's worst-case communication pattern.
+func QFT(n int) *circuit.Circuit {
+	if n < 1 {
+		panic(fmt.Sprintf("workloads: QFT needs ≥ 1 qubit, got %d", n))
+	}
+	c := circuit.New(fmt.Sprintf("qft-%d", n), n)
+	for i := 0; i < n; i++ {
+		c.H(i)
+		for j := i + 1; j < n; j++ {
+			theta := math.Pi / math.Pow(2, float64(j-i))
+			controlledPhase(c, j, i, theta)
+		}
+	}
+	c.MeasureAll()
+	return c
+}
+
+// controlledPhase appends CU1(theta) decomposed for a CX-based gate set:
+// u1(θ/2) on the control, CX, u1(−θ/2) on the target, CX, u1(θ/2) on the
+// target.
+func controlledPhase(c *circuit.Circuit, ctrl, tgt int, theta float64) {
+	c.U1(theta/2, ctrl)
+	c.CX(ctrl, tgt)
+	c.U1(-theta/2, tgt)
+	c.CX(ctrl, tgt)
+	c.U1(theta/2, tgt)
+}
+
+// ALU returns the paper's 10-qubit quantum-adder kernel: a 4-bit Cuccaro
+// ripple-carry adder computed forward and then uncomputed (add followed by
+// subtract), on qubits [carry-in, a0,b0, a1,b1, a2,b2, a3,b3, carry-out].
+// Toffolis are decomposed into the standard 6-CNOT + 9 single-qubit
+// network, giving ≈300 instructions like Table 1's alu row.
+func ALU() *circuit.Circuit {
+	const bits = 4
+	c := circuit.New("alu", 2*bits+2)
+	cin := 0
+	a := func(i int) int { return 1 + 2*i }
+	b := func(i int) int { return 2 + 2*i }
+	cout := 2*bits + 1
+
+	// Load operands: a = 0101, b = 0011.
+	c.X(a(0)).X(a(2))
+	c.X(b(0)).X(b(1))
+
+	maj := func(x, y, z int) {
+		c.CX(z, y)
+		c.CX(z, x)
+		toffoli(c, x, y, z)
+	}
+	uma := func(x, y, z int) {
+		toffoli(c, x, y, z)
+		c.CX(z, x)
+		c.CX(x, y)
+	}
+
+	add := func() {
+		maj(cin, b(0), a(0))
+		for i := 1; i < bits; i++ {
+			maj(a(i-1), b(i), a(i))
+		}
+		c.CX(a(bits-1), cout)
+		for i := bits - 1; i >= 1; i-- {
+			uma(a(i-1), b(i), a(i))
+		}
+		uma(cin, b(0), a(0))
+	}
+	add()
+	add() // second pass: b += a again (doubles the sum, exercising carries)
+	c.MeasureAll()
+	return c
+}
+
+// toffoli appends the 6-CNOT, 9-single-qubit decomposition of a
+// CCX(c1, c2, target).
+func toffoli(c *circuit.Circuit, c1, c2, tgt int) {
+	c.H(tgt)
+	c.CX(c2, tgt)
+	c.Tdg(tgt)
+	c.CX(c1, tgt)
+	c.T(tgt)
+	c.CX(c2, tgt)
+	c.Tdg(tgt)
+	c.CX(c1, tgt)
+	c.T(c2)
+	c.T(tgt)
+	c.H(tgt)
+	c.CX(c1, c2)
+	c.T(c1)
+	c.Tdg(c2)
+	c.CX(c1, c2)
+}
+
+// RandConfig controls the randomized benchmarks of Table 1.
+type RandConfig struct {
+	Qubits int
+	CNOTs  int
+	Seed   int64
+	// MaxDistance / MinDistance constrain |a−b| between CNOT operands in
+	// program-qubit index space: small distances model local communication
+	// (rnd-SD), large distances long-range communication (rnd-LD).
+	MinDistance int
+	MaxDistance int
+}
+
+// Rand generates a randomized CNOT benchmark under cfg.
+func Rand(name string, cfg RandConfig) *circuit.Circuit {
+	if cfg.Qubits < 2 {
+		panic("workloads: Rand needs ≥ 2 qubits")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	c := circuit.New(name, cfg.Qubits)
+	for q := 0; q < cfg.Qubits; q++ {
+		c.H(q)
+	}
+	placed := 0
+	for placed < cfg.CNOTs {
+		a := rng.Intn(cfg.Qubits)
+		b := rng.Intn(cfg.Qubits)
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		if b == a || d < cfg.MinDistance || (cfg.MaxDistance > 0 && d > cfg.MaxDistance) {
+			continue
+		}
+		c.CX(a, b)
+		placed++
+	}
+	c.MeasureAll()
+	return c
+}
+
+// RandSD returns the paper's rnd-SD benchmark: 20 qubits, 100 total
+// instructions (60 random CNOTs between nearby program qubits plus the
+// per-qubit preparation and measurement).
+func RandSD(seed int64) *circuit.Circuit {
+	return Rand("rnd-SD", RandConfig{Qubits: 20, CNOTs: 60, Seed: seed, MinDistance: 1, MaxDistance: 3})
+}
+
+// RandLD returns the paper's rnd-LD benchmark: 20 qubits, 100 total
+// instructions with the 60 random CNOTs between distant program qubits.
+func RandLD(seed int64) *circuit.Circuit {
+	return Rand("rnd-LD", RandConfig{Qubits: 20, CNOTs: 60, Seed: seed, MinDistance: 8})
+}
+
+// GHZ returns the n-qubit GHZ-state preparation (H + CX chain), one of the
+// IBM-Q5 kernels of Table 3.
+func GHZ(n int) *circuit.Circuit {
+	if n < 2 {
+		panic("workloads: GHZ needs ≥ 2 qubits")
+	}
+	c := circuit.New(fmt.Sprintf("GHZ-%d", n), n)
+	c.H(0)
+	for q := 0; q+1 < n; q++ {
+		c.CX(q, q+1)
+	}
+	c.MeasureAll()
+	return c
+}
+
+// TriSwap returns the SWAP-heavy 3-qubit IBM-Q5 kernel of Table 3: a
+// cyclic rotation of three qubit states implemented with SWAPs (9 CNOTs
+// after lowering), the workload where variation-awareness pays the most.
+func TriSwap() *circuit.Circuit {
+	c := circuit.New("TriSwap", 3)
+	c.X(0) // distinguishable state to rotate
+	c.Swap(0, 1)
+	c.Swap(1, 2)
+	c.Swap(0, 1)
+	c.MeasureAll()
+	return c
+}
+
+// Spec pairs a benchmark with its provenance for tables.
+type Spec struct {
+	Name        string
+	Description string
+	Circuit     *circuit.Circuit
+}
+
+// Table1Suite returns the seven benchmarks of the paper's Table 1. The
+// random benchmarks use fixed seeds so the suite is reproducible.
+func Table1Suite() []Spec {
+	return []Spec{
+		{"alu", "Quantum adder (Cuccaro, Toffoli-decomposed)", ALU()},
+		{"bv-16", "Bernstein-Vazirani", BV(16)},
+		{"bv-20", "Bernstein-Vazirani", BV(20)},
+		{"qft-12", "Quantum Fourier Transform", QFT(12)},
+		{"qft-14", "Quantum Fourier Transform", QFT(14)},
+		{"rnd-SD", "Random benchmark, short-distance communication", RandSD(1)},
+		{"rnd-LD", "Random benchmark, long-distance communication", RandLD(1)},
+	}
+}
+
+// Q5Suite returns the IBM-Q5 kernels of Table 3.
+func Q5Suite() []Spec {
+	return []Spec{
+		{"bv-3", "Bernstein-Vazirani", BV(3)},
+		{"bv-4", "Bernstein-Vazirani", BV(4)},
+		{"TriSwap", "Cyclic triple swap", TriSwap()},
+		{"GHZ-3", "GHZ state preparation", GHZ(3)},
+	}
+}
+
+// TenQubitSuite returns the 10-qubit workload variants of the Section 8
+// partitioning study (Figure 16).
+func TenQubitSuite() []Spec {
+	return []Spec{
+		{"alu_10", "Quantum adder", ALU()},
+		{"bv_10", "Bernstein-Vazirani", BV(10)},
+		{"qft_10", "Quantum Fourier Transform", QFT(10)},
+	}
+}
