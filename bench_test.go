@@ -12,6 +12,7 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"vaq/internal/calib"
@@ -310,16 +311,43 @@ func BenchmarkCompilePipeline(b *testing.B) {
 }
 
 // BenchmarkMonteCarlo measures the fault-injection simulator's trial
-// throughput.
+// throughput (serial path), reported as real trials/sec from the measured
+// elapsed time.
 func BenchmarkMonteCarlo(b *testing.B) {
 	d := benchDevice()
 	comp, err := core.Compile(d, workloads.BV(16), core.Options{Policy: core.Baseline})
 	if err != nil {
 		b.Fatal(err)
 	}
+	const trials = 10000
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sim.Run(d, comp.Routed.Physical, sim.Config{Trials: 10000, Seed: int64(i)})
+		sim.Run(d, comp.Routed.Physical, sim.Config{Trials: trials, Seed: int64(i), Workers: -1})
 	}
-	b.ReportMetric(10000, "trials/op")
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(trials)*float64(b.N)/secs, "trials/sec")
+	}
+}
+
+// BenchmarkMonteCarloParallel sweeps the worker count over the sharded
+// simulator on a single prepared circuit; the trial budget is large
+// enough (64 blocks) for the pool to matter.
+func BenchmarkMonteCarloParallel(b *testing.B) {
+	d := benchDevice()
+	comp, err := core.Compile(d, workloads.BV(16), core.Options{Policy: core.Baseline})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const trials = 64 * sim.BlockSize
+	prep := sim.Prepare(d, comp.Routed.Physical, sim.Config{})
+	for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				prep.Run(sim.Config{Trials: trials, Seed: int64(i), Workers: workers})
+			}
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(trials)*float64(b.N)/secs, "trials/sec")
+			}
+		})
+	}
 }

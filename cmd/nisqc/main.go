@@ -40,6 +40,7 @@ func main() {
 		calibP   = flag.String("calib", "", "load the device from a calgen-produced JSON archive (mean snapshot) instead of -device")
 		seed     = flag.Int64("seed", 2019, "seed for the synthetic calibration archive")
 		trials   = flag.Int("trials", 100000, "Monte-Carlo trials")
+		workers  = flag.Int("workers", 0, "worker goroutines for Monte-Carlo trial sharding (0: one per CPU, <0: serial); the outcome is identical at any setting")
 		verbose  = flag.Bool("verbose", false, "print the compiled physical circuit as QASM")
 		outcomes = flag.Bool("outcomes", false, "run the iterative execution model and print the output log analysis (Clifford programs only)")
 		optimize = flag.Bool("O", false, "run the transpile optimizer (inverse cancellation, rotation merging) before mapping")
@@ -50,6 +51,7 @@ func main() {
 	if *timeline {
 		timelineRequested = true
 	}
+	simWorkers = *workers
 	if err := run(*workload, *qasmPath, *policyN, *deviceN, *calibP, *seed, *trials, *verbose, *outcomes, *optimize); err != nil {
 		fmt.Fprintln(os.Stderr, "nisqc:", err)
 		os.Exit(1)
@@ -95,9 +97,12 @@ func run(workload, qasmPath, policyName, deviceName, calibPath string, seed int6
 	return compileAndReport(d, prog, policyName, seed, mcTrials, verbose, outcomes, optimize)
 }
 
-// timelineRequested mirrors the -timeline flag (kept package-level so the
-// testable run() signature stays stable).
-var timelineRequested bool
+// timelineRequested and simWorkers mirror the -timeline and -workers
+// flags (kept package-level so the testable run() signature stays stable).
+var (
+	timelineRequested bool
+	simWorkers        int
+)
 
 // compileAndReport is the back half of the pipeline once a device model
 // exists: compile, verify, simulate, print.
@@ -117,9 +122,10 @@ func compileAndReport(d *device.Device, prog *circuit.Circuit, policyName string
 
 	in := prog.Stats()
 	out := comp.Routed.Physical.Stats()
-	scfg := sim.Config{Trials: mcTrials, Seed: seed}
-	mc := sim.Run(d, comp.Routed.Physical, scfg)
-	analytic := sim.AnalyticPST(d, comp.Routed.Physical, scfg)
+	scfg := sim.Config{Trials: mcTrials, Seed: seed, Workers: simWorkers}
+	prep := sim.Prepare(d, comp.Routed.Physical, scfg)
+	mc := prep.Run(scfg)
+	analytic := prep.AnalyticPST()
 	breakdown := sim.AnalyticBreakdown(d, comp.Routed.Physical, scfg)
 
 	fmt.Printf("program     %s (%d qubits, %d instructions, depth %d)\n", prog.Name, prog.NumQubits, in.Total, in.Depth)

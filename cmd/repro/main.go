@@ -7,13 +7,16 @@
 // Usage:
 //
 //	repro [-experiment all|fig5|fig6|fig7|fig8|fig9|table1|fig12|fig13|fig14|table2|table3|fig16]
-//	      [-seed N] [-trials N] [-full] [-format text|csv|json]
+//	      [-seed N] [-trials N] [-full] [-workers N] [-format text|csv|json]
+//	      [-cpuprofile f.pprof] [-memprofile f.pprof]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"vaq/internal/experiments"
 	"vaq/internal/report"
@@ -21,15 +24,18 @@ import (
 
 func main() {
 	var (
-		which  = flag.String("experiment", "all", "experiment to run (all, fig5..fig16, table1..table3)")
-		seed   = flag.Int64("seed", 2019, "seed for the synthetic characterization archive")
-		trials = flag.Int("trials", 200000, "Monte-Carlo trials per PST estimate")
-		full   = flag.Bool("full", false, "use the paper's budgets (1M trials, 32 native configs)")
-		format = flag.String("format", "text", "output format: text (tables+charts), csv, json")
+		which   = flag.String("experiment", "all", "experiment to run (all, fig5..fig16, table1..table3)")
+		seed    = flag.Int64("seed", 2019, "seed for the synthetic characterization archive")
+		trials  = flag.Int("trials", 200000, "Monte-Carlo trials per PST estimate")
+		full    = flag.Bool("full", false, "use the paper's budgets (1M trials, 32 native configs)")
+		workers = flag.Int("workers", 0, "worker goroutines for experiment fan-out and trial sharding (0: one per CPU, <0: serial); results are identical at any setting")
+		format  = flag.String("format", "text", "output format: text (tables+charts), csv, json")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
-	cfg := experiments.Config{Seed: *seed, Trials: *trials}
+	cfg := experiments.Config{Seed: *seed, Trials: *trials, Workers: *workers}
 	if *full {
 		cfg.Trials = 1000000
 		cfg.NativeConfigs = 32
@@ -37,7 +43,43 @@ func main() {
 		cfg.Q5Trials = 4096
 	}
 
-	if err := runFormat(*which, cfg, *format); err != nil {
+	var cpuFile *os.File
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+		cpuFile = f
+	}
+
+	err := runFormat(*which, cfg, *format)
+
+	// Flush profiles before any error exit (os.Exit skips defers).
+	if cpuFile != nil {
+		pprof.StopCPUProfile()
+		cpuFile.Close()
+	}
+
+	if *memProf != "" {
+		f, mErr := os.Create(*memProf)
+		if mErr != nil {
+			fmt.Fprintln(os.Stderr, "repro:", mErr)
+			os.Exit(1)
+		}
+		runtime.GC() // settle the heap so the profile reflects retained memory
+		if mErr := pprof.WriteHeapProfile(f); mErr != nil {
+			fmt.Fprintln(os.Stderr, "repro:", mErr)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "repro:", err)
 		os.Exit(1)
 	}

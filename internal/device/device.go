@@ -9,6 +9,7 @@ package device
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"vaq/internal/calib"
 	"vaq/internal/gate"
@@ -19,15 +20,21 @@ import (
 // Device is an immutable pairing of a topology with a calibration
 // snapshot. Construct with New; the accessors lazily build and cache the
 // derived graphs and matrices, so a Device is cheap to create and the
-// expensive all-pairs computations happen at most once.
+// expensive all-pairs computations happen at most once. The caches are
+// sync.Once-guarded, so a Device is safe to share across the concurrent
+// compilations the experiment fan-out performs.
 type Device struct {
 	topo *topo.Topology
 	snap *calib.Snapshot
 
-	hopGraph  *graphx.Graph
-	costGraph *graphx.Graph
-	hopDist   [][]float64
-	costDist  [][]float64
+	hopGraphOnce  sync.Once
+	costGraphOnce sync.Once
+	hopDistOnce   sync.Once
+	costDistOnce  sync.Once
+	hopGraph      *graphx.Graph
+	costGraph     *graphx.Graph
+	hopDist       [][]float64
+	costDist      [][]float64
 }
 
 // New validates the snapshot against the topology and returns a Device.
@@ -108,21 +115,19 @@ func (d *Device) GateSuccess(k gate.Kind, qs []int) float64 {
 // HopGraph returns the coupling graph with unit edge weights: the baseline
 // policy's view, where every SWAP costs the same.
 func (d *Device) HopGraph() *graphx.Graph {
-	if d.hopGraph == nil {
-		d.hopGraph = d.topo.Graph(1)
-	}
+	d.hopGraphOnce.Do(func() { d.hopGraph = d.topo.Graph(1) })
 	return d.hopGraph
 }
 
 // CostGraph returns the coupling graph weighted by SwapCost: VQM's view.
 func (d *Device) CostGraph() *graphx.Graph {
-	if d.costGraph == nil {
+	d.costGraphOnce.Do(func() {
 		g := graphx.New(d.topo.NumQubits)
 		for _, c := range d.topo.Couplings {
 			g.AddEdge(c.A, c.B, d.SwapCost(c.A, c.B))
 		}
 		d.costGraph = g
-	}
+	})
 	return d.costGraph
 }
 
@@ -139,18 +144,14 @@ func (d *Device) ReliabilityGraph() *graphx.Graph {
 // HopDistance returns the minimum number of SWAP-capable hops between a
 // and b (the baseline's distance matrix entry).
 func (d *Device) HopDistance(a, b int) float64 {
-	if d.hopDist == nil {
-		d.hopDist = d.HopGraph().AllPairsHops()
-	}
+	d.hopDistOnce.Do(func() { d.hopDist = d.HopGraph().AllPairsHops() })
 	return d.hopDist[a][b]
 }
 
 // CostDistance returns the minimum total SwapCost between a and b (VQM's
 // distance matrix entry, computed with Dijkstra as in Algorithm 1).
 func (d *Device) CostDistance(a, b int) float64 {
-	if d.costDist == nil {
-		d.costDist = d.CostGraph().AllPairsDijkstra()
-	}
+	d.costDistOnce.Do(func() { d.costDist = d.CostGraph().AllPairsDijkstra() })
 	return d.costDist[a][b]
 }
 

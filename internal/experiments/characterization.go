@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"vaq/internal/calib"
+	"vaq/internal/parallel"
 	"vaq/internal/topo"
 )
 
@@ -167,17 +168,20 @@ func Fig8TemporalVariation(cfg Config) Fig8Result {
 			strongest = i
 		}
 	}
-	wins := 0
 	cycles := len(res.Links[0].Series)
-	for t := 0; t < cycles; t++ {
-		best := true
+	// Each calibration cycle is judged independently; the fan-out mirrors
+	// the per-cycle structure the heavier experiments share.
+	won, _ := parallel.Map(cfg.Workers, cycles, func(t int) (bool, error) {
 		for i := range res.Links {
 			if i != strongest && res.Links[i].Series[t] < res.Links[strongest].Series[t] {
-				best = false
-				break
+				return false, nil
 			}
 		}
-		if best {
+		return true, nil
+	})
+	wins := 0
+	for _, w := range won {
+		if w {
 			wins++
 		}
 	}

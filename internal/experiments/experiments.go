@@ -45,6 +45,12 @@ type Config struct {
 	NativeTrials  int
 	// Q5Trials matches the paper's 4096 trials per IBM-Q5 experiment.
 	Q5Trials int
+	// Workers bounds the goroutines used for the experiment fan-out and
+	// the trial-level Monte-Carlo sharding: > 0 is taken literally, 0 (the
+	// default) uses one worker per CPU, < 0 forces serial execution. All
+	// results are identical at every setting (see DESIGN.md, "Concurrency
+	// and determinism").
+	Workers int
 }
 
 // DefaultConfig returns the paper-faithful settings (except MC trial
@@ -107,20 +113,24 @@ func (c Config) q5() *device.Device {
 // estimate by construction (errors are independent events), the harness
 // switches to the analytic value whenever fewer than minMCSuccesses
 // successes were observed, keeping relative-PST ratios well-defined.
-func pst(d *device.Device, prog *circuit.Circuit, policy core.Policy, trials int, seed int64) (float64, *core.Compiled, error) {
-	return pstWith(d, prog, core.Options{Policy: policy, Seed: seed}, sim.Config{Trials: trials, Seed: seed + 7777})
+func (c Config) pst(d *device.Device, prog *circuit.Circuit, policy core.Policy, trials int, seed int64) (float64, *core.Compiled, error) {
+	return c.pstWith(d, prog, core.Options{Policy: policy, Seed: seed}, sim.Config{Trials: trials, Seed: seed + 7777})
 }
 
 const minMCSuccesses = 50
 
-func pstWith(d *device.Device, prog *circuit.Circuit, copts core.Options, scfg sim.Config) (float64, *core.Compiled, error) {
+func (c Config) pstWith(d *device.Device, prog *circuit.Circuit, copts core.Options, scfg sim.Config) (float64, *core.Compiled, error) {
+	if scfg.Workers == 0 {
+		scfg.Workers = c.Workers
+	}
 	comp, err := core.Compile(d, prog, copts)
 	if err != nil {
 		return 0, nil, err
 	}
-	out := sim.Run(d, comp.Routed.Physical, scfg)
+	prep := sim.Prepare(d, comp.Routed.Physical, scfg)
+	out := prep.Run(scfg)
 	if out.Successes < minMCSuccesses {
-		return sim.AnalyticPST(d, comp.Routed.Physical, scfg), comp, nil
+		return prep.AnalyticPST(), comp, nil
 	}
 	return out.PST, comp, nil
 }

@@ -278,6 +278,52 @@ func TestFig16Shape(t *testing.T) {
 	}
 }
 
+// TestFanOutWorkerCountInvariance pins the concurrency contract at the
+// experiment level: the whole fan-out (per-workload Map, per-config
+// native sweep, block-sharded Monte Carlo) must produce identical rows at
+// any worker count. Runs in short mode so scripts/check.sh exercises the
+// concurrent path under the race detector.
+func TestFanOutWorkerCountInvariance(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Trials = 10000
+	cfg.NativeConfigs = 3
+	cfg.NativeTrials = 2000
+
+	serial := cfg
+	serial.Workers = -1
+	fanned := cfg
+	fanned.Workers = 4
+
+	a, err := Fig12VQM(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig12VQM(fanned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("row counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs: serial %+v, workers=4 %+v", i, a[i], b[i])
+		}
+	}
+
+	t3a, err := Table3IBMQ5(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t3b, err := Table3IBMQ5(fanned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t3a.GeoMean != t3b.GeoMean {
+		t.Fatalf("Table 3 geomean differs: %v vs %v", t3a.GeoMean, t3b.GeoMean)
+	}
+}
+
 func TestConfigDefaults(t *testing.T) {
 	c := Config{}.withDefaults()
 	d := DefaultConfig()

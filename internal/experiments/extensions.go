@@ -7,6 +7,7 @@ import (
 	"vaq/internal/core"
 	"vaq/internal/device"
 	"vaq/internal/metrics"
+	"vaq/internal/parallel"
 	"vaq/internal/qvolume"
 	"vaq/internal/sim"
 	"vaq/internal/topo"
@@ -34,17 +35,19 @@ func ExtMAHSweep(cfg Config) ([]ExtMAHRow, error) {
 	cfg = cfg.withDefaults()
 	d := cfg.meanQ20()
 	scfg := sim.Config{}
-	var rows []ExtMAHRow
-	for _, spec := range []workloads.Spec{
+	specs := []workloads.Spec{
 		{Name: "bv-16", Circuit: workloads.BV(16)},
 		{Name: "qft-12", Circuit: workloads.QFT(12)},
 		{Name: "rnd-LD", Circuit: workloads.RandLD(1)},
-	} {
+	}
+	perSpec, err := parallel.Map(cfg.Workers, len(specs), func(i int) ([]ExtMAHRow, error) {
+		spec := specs[i]
 		baseComp, err := core.Compile(d, spec.Circuit, core.Options{Policy: core.Baseline})
 		if err != nil {
 			return nil, fmt.Errorf("ext-mah %s: %w", spec.Name, err)
 		}
 		basePST := sim.AnalyticPST(d, baseComp.Routed.Physical, scfg)
+		var rows []ExtMAHRow
 		for _, mah := range []int{0, 1, 2, 4, 8, -1} {
 			opts := core.Options{Policy: core.VQMHop, MAH: mah}
 			if mah < 0 {
@@ -61,8 +64,23 @@ func ExtMAHSweep(cfg Config) ([]ExtMAHRow, error) {
 				Relative: metrics.Relative(sim.AnalyticPST(d, comp.Routed.Physical, scfg), basePST),
 			})
 		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return rows, nil
+	return flatten(perSpec), nil
+}
+
+// flatten concatenates per-item row slices in item order — the glue
+// between parallel.Map and experiments that emit several rows per unit
+// of fanned-out work.
+func flatten[T any](groups [][]T) []T {
+	var out []T
+	for _, g := range groups {
+		out = append(out, g...)
+	}
+	return out
 }
 
 // ExtMAHTable renders the MAH sweep.
@@ -94,8 +112,10 @@ type ExtReadoutRow struct {
 func ExtReadoutAware(cfg Config) ([]ExtReadoutRow, error) {
 	cfg = cfg.withDefaults()
 	d := cfg.q5()
-	var rows []ExtReadoutRow
-	for _, spec := range workloads.Q5Suite() {
+	suite := workloads.Q5Suite()
+	perSpec, err := parallel.Map(cfg.Workers, len(suite), func(i int) ([]ExtReadoutRow, error) {
+		spec := suite[i]
+		var rows []ExtReadoutRow
 		for _, w := range []float64{0, 1, 3} {
 			comp, err := core.Compile(d, spec.Circuit, core.Options{Policy: core.VQAVQM, ReadoutWeight: w})
 			if err != nil {
@@ -107,8 +127,12 @@ func ExtReadoutAware(cfg Config) ([]ExtReadoutRow, error) {
 				PST:      sim.AnalyticPST(d, comp.Routed.Physical, sim.Config{}),
 			})
 		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return rows, nil
+	return flatten(perSpec), nil
 }
 
 // ExtReadoutTable renders the readout extension.
@@ -142,18 +166,19 @@ func ExtOptimizer(cfg Config) ([]ExtOptimizerRow, error) {
 	cfg = cfg.withDefaults()
 	d := cfg.meanQ20()
 	scfg := sim.Config{}
-	var rows []ExtOptimizerRow
-	for _, spec := range workloads.Table1Suite() {
+	suite := workloads.Table1Suite()
+	return parallel.Map(cfg.Workers, len(suite), func(i int) (ExtOptimizerRow, error) {
+		spec := suite[i]
 		plain, err := core.Compile(d, spec.Circuit, core.Options{Policy: core.Baseline})
 		if err != nil {
-			return nil, fmt.Errorf("ext-optimizer %s: %w", spec.Name, err)
+			return ExtOptimizerRow{}, fmt.Errorf("ext-optimizer %s: %w", spec.Name, err)
 		}
 		opt, err := core.Compile(d, spec.Circuit, core.Options{Policy: core.Baseline, Optimize: true})
 		if err != nil {
-			return nil, err
+			return ExtOptimizerRow{}, err
 		}
 		optimized, _ := transpile.Optimize(spec.Circuit)
-		rows = append(rows, ExtOptimizerRow{
+		return ExtOptimizerRow{
 			Workload:    spec.Name,
 			GatesBefore: len(spec.Circuit.Gates),
 			GatesAfter:  len(optimized.Gates),
@@ -162,9 +187,8 @@ func ExtOptimizer(cfg Config) ([]ExtOptimizerRow, error) {
 			RelativePlus: metrics.Relative(
 				sim.AnalyticPST(d, opt.Routed.Physical, scfg),
 				sim.AnalyticPST(d, plain.Routed.Physical, scfg)),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // ExtOptimizerTable renders the optimizer experiment.
@@ -207,22 +231,33 @@ func ExtQuantumVolume(cfg Config) (ExtQVResult, error) {
 	cfg = cfg.withDefaults()
 	d := cfg.meanQ20()
 	var res ExtQVResult
-	for _, pol := range []core.Policy{core.Baseline, core.VQAVQM} {
-		qcfg := qvolume.Config{Circuits: 6, Seed: cfg.Seed, Policy: pol}
+	policies := []core.Policy{core.Baseline, core.VQAVQM}
+	type qvOutcome struct {
+		rows []ExtQVRow
+		best int
+	}
+	outcomes, err := parallel.Map(cfg.Workers, len(policies), func(i int) (qvOutcome, error) {
+		pol := policies[i]
+		qcfg := qvolume.Config{Circuits: 6, Seed: cfg.Seed, Policy: pol, Workers: cfg.Workers}
 		best, all, err := qvolume.Achievable(d, 6, qcfg)
 		if err != nil {
-			return res, fmt.Errorf("ext-qv %v: %w", pol, err)
+			return qvOutcome{}, fmt.Errorf("ext-qv %v: %w", pol, err)
 		}
+		o := qvOutcome{best: best}
 		for _, r := range all {
-			res.Rows = append(res.Rows, ExtQVRow{
+			o.rows = append(o.rows, ExtQVRow{
 				Policy: pol.String(), M: r.M, MeanPST: r.MeanPST, NoisyHOP: r.NoisyHOP, Pass: r.Pass,
 			})
 		}
-		if pol == core.Baseline {
-			res.BaselineLog2 = best
-		} else {
-			res.VariationLog2 = best
-		}
+		return o, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	res.BaselineLog2 = outcomes[0].best
+	res.VariationLog2 = outcomes[1].best
+	for _, o := range outcomes {
+		res.Rows = append(res.Rows, o.rows...)
 	}
 	return res, nil
 }
@@ -271,12 +306,14 @@ func ExtTopology(cfg Config) ([]ExtTopologyRow, error) {
 		return device.New(t, s)
 	}
 	topos := []*topo.Topology{topo.IBMQ20(), topo.IBMQ16(), topo.FullyConnected(16)}
-	var rows []ExtTopologyRow
-	for _, spec := range []workloads.Spec{
+	specs := []workloads.Spec{
 		{Name: "bv-10", Circuit: workloads.BV(10)},
 		{Name: "qft-10", Circuit: workloads.QFT(10)},
 		{Name: "alu", Circuit: workloads.ALU()},
-	} {
+	}
+	perSpec, err := parallel.Map(cfg.Workers, len(specs), func(i int) ([]ExtTopologyRow, error) {
+		spec := specs[i]
+		var rows []ExtTopologyRow
 		for _, tp := range topos {
 			d, err := makeDevice(tp)
 			if err != nil {
@@ -293,8 +330,12 @@ func ExtTopology(cfg Config) ([]ExtTopologyRow, error) {
 				PST:      sim.AnalyticPST(d, comp.Routed.Physical, sim.Config{}),
 			})
 		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return rows, nil
+	return flatten(perSpec), nil
 }
 
 // ExtTopologyTable renders the topology comparison.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"vaq/internal/core"
+	"vaq/internal/parallel"
 	"vaq/internal/partition"
 	"vaq/internal/sim"
 	"vaq/internal/workloads"
@@ -31,14 +32,15 @@ func Fig16Partitioning(cfg Config) ([]Fig16Row, error) {
 	d := cfg.meanQ20()
 	opts := partition.Options{
 		Compile:    core.Options{Policy: core.VQAVQM},
-		Sim:        sim.Config{Trials: cfg.Trials / 4, Seed: cfg.Seed},
+		Sim:        sim.Config{Trials: cfg.Trials / 4, Seed: cfg.Seed, Workers: cfg.Workers},
 		Candidates: 10,
 	}
-	var rows []Fig16Row
-	for _, spec := range workloads.TenQubitSuite() {
+	suite := workloads.TenQubitSuite()
+	return parallel.Map(cfg.Workers, len(suite), func(i int) (Fig16Row, error) {
+		spec := suite[i]
 		res, err := partition.Evaluate(d, spec.Circuit, opts)
 		if err != nil {
-			return nil, fmt.Errorf("fig16 %s: %w", spec.Name, err)
+			return Fig16Row{}, fmt.Errorf("fig16 %s: %w", spec.Name, err)
 		}
 		row := Fig16Row{
 			Name:          spec.Name,
@@ -52,9 +54,8 @@ func Fig16Partitioning(cfg Config) ([]Fig16Row, error) {
 		if res.TwoSTPT > 0 {
 			row.OneStrongNorm = res.OneSTPT / res.TwoSTPT
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // Fig16Table renders Figure 16.

@@ -8,6 +8,7 @@ import (
 	"vaq/internal/core"
 	"vaq/internal/device"
 	"vaq/internal/metrics"
+	"vaq/internal/parallel"
 	"vaq/internal/sim"
 	"vaq/internal/workloads"
 )
@@ -27,21 +28,21 @@ type Table1Row struct {
 func Table1Benchmarks(cfg Config) ([]Table1Row, error) {
 	cfg = cfg.withDefaults()
 	d := cfg.meanQ20()
-	var rows []Table1Row
-	for _, spec := range workloads.Table1Suite() {
+	suite := workloads.Table1Suite()
+	return parallel.Map(cfg.Workers, len(suite), func(i int) (Table1Row, error) {
+		spec := suite[i]
 		comp, err := core.Compile(d, spec.Circuit, core.Options{Policy: core.Baseline})
 		if err != nil {
-			return nil, fmt.Errorf("table1 %s: %w", spec.Name, err)
+			return Table1Row{}, fmt.Errorf("table1 %s: %w", spec.Name, err)
 		}
-		rows = append(rows, Table1Row{
+		return Table1Row{
 			Name:        spec.Name,
 			Description: spec.Description,
 			Qubits:      spec.Circuit.NumQubits,
 			TotalInst:   spec.Circuit.Stats().Total,
 			SwapInst:    comp.Swaps(),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // Table1Table renders Table 1.
@@ -73,28 +74,28 @@ type Fig12Row struct {
 func Fig12VQM(cfg Config) ([]Fig12Row, error) {
 	cfg = cfg.withDefaults()
 	d := cfg.meanQ20()
-	var rows []Fig12Row
-	for _, spec := range workloads.Table1Suite() {
-		base, _, err := pst(d, spec.Circuit, core.Baseline, cfg.Trials, cfg.Seed)
+	suite := workloads.Table1Suite()
+	return parallel.Map(cfg.Workers, len(suite), func(i int) (Fig12Row, error) {
+		spec := suite[i]
+		base, _, err := cfg.pst(d, spec.Circuit, core.Baseline, cfg.Trials, cfg.Seed)
 		if err != nil {
-			return nil, fmt.Errorf("fig12 %s: %w", spec.Name, err)
+			return Fig12Row{}, fmt.Errorf("fig12 %s: %w", spec.Name, err)
 		}
-		vqm, _, err := pst(d, spec.Circuit, core.VQM, cfg.Trials, cfg.Seed)
+		vqm, _, err := cfg.pst(d, spec.Circuit, core.VQM, cfg.Trials, cfg.Seed)
 		if err != nil {
-			return nil, err
+			return Fig12Row{}, err
 		}
-		hop, _, err := pst(d, spec.Circuit, core.VQMHop, cfg.Trials, cfg.Seed)
+		hop, _, err := cfg.pst(d, spec.Circuit, core.VQMHop, cfg.Trials, cfg.Seed)
 		if err != nil {
-			return nil, err
+			return Fig12Row{}, err
 		}
-		rows = append(rows, Fig12Row{
+		return Fig12Row{
 			Name:        spec.Name,
 			BaselinePST: base,
 			RelVQM:      metrics.Relative(vqm, base),
 			RelVQMHop:   metrics.Relative(hop, base),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // Fig12Table renders Figure 12.
@@ -127,30 +128,35 @@ type Fig13Row struct {
 func Fig13Policies(cfg Config) ([]Fig13Row, error) {
 	cfg = cfg.withDefaults()
 	d := cfg.meanQ20()
-	var rows []Fig13Row
-	for _, spec := range workloads.Table1Suite() {
-		base, _, err := pst(d, spec.Circuit, core.Baseline, cfg.Trials, cfg.Seed)
+	suite := workloads.Table1Suite()
+	return parallel.Map(cfg.Workers, len(suite), func(i int) (Fig13Row, error) {
+		spec := suite[i]
+		base, _, err := cfg.pst(d, spec.Circuit, core.Baseline, cfg.Trials, cfg.Seed)
 		if err != nil {
-			return nil, fmt.Errorf("fig13 %s: %w", spec.Name, err)
+			return Fig13Row{}, fmt.Errorf("fig13 %s: %w", spec.Name, err)
 		}
-		vqm, _, err := pst(d, spec.Circuit, core.VQM, cfg.Trials, cfg.Seed)
+		vqm, _, err := cfg.pst(d, spec.Circuit, core.VQM, cfg.Trials, cfg.Seed)
 		if err != nil {
-			return nil, err
+			return Fig13Row{}, err
 		}
-		full, _, err := pst(d, spec.Circuit, core.VQAVQM, cfg.Trials, cfg.Seed)
+		full, _, err := cfg.pst(d, spec.Circuit, core.VQAVQM, cfg.Trials, cfg.Seed)
 		if err != nil {
-			return nil, err
+			return Fig13Row{}, err
 		}
-		var natives []float64
-		for i := 0; i < cfg.NativeConfigs; i++ {
-			p, _, err := pst(d, spec.Circuit, core.Native, cfg.NativeTrials, cfg.Seed+int64(i))
+		// The native comparator's random configurations are independent,
+		// so they fan out too; Map keeps them in configuration order.
+		natives, err := parallel.Map(cfg.Workers, cfg.NativeConfigs, func(n int) (float64, error) {
+			p, _, err := cfg.pst(d, spec.Circuit, core.Native, cfg.NativeTrials, cfg.Seed+int64(n))
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			natives = append(natives, metrics.Relative(p, base))
+			return metrics.Relative(p, base), nil
+		})
+		if err != nil {
+			return Fig13Row{}, err
 		}
 		lo, hi := metrics.MinMax(natives)
-		rows = append(rows, Fig13Row{
+		return Fig13Row{
 			Name:        spec.Name,
 			BaselinePST: base,
 			NativeAvg:   metrics.Mean(natives),
@@ -158,9 +164,8 @@ func Fig13Policies(cfg Config) ([]Fig13Row, error) {
 			NativeMax:   hi,
 			RelVQM:      metrics.Relative(vqm, base),
 			RelVQAVQM:   metrics.Relative(full, base),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // Fig13Table renders Figure 13.
@@ -208,31 +213,40 @@ func Fig14PerDay(cfg Config) (Fig14Result, error) {
 		trials = 20000
 	}
 	var res Fig14Result
-	for day := 0; day < arch.Days(); day++ {
+	// Every day recompiles against its own snapshot independently — the
+	// widest fan-out in the suite (52 days × 2 policies).
+	points, err := parallel.Map(cfg.Workers, arch.Days(), func(day int) (*Fig14Point, error) {
 		snaps := arch.DaySnapshots(day)
 		if len(snaps) == 0 {
-			continue
+			return nil, nil
 		}
 		d, err := device.New(arch.Topo, snaps[0])
 		if err != nil {
-			return res, err
+			return nil, err
 		}
-		base, _, err := pst(d, prog, core.Baseline, trials, cfg.Seed+int64(day))
+		base, _, err := cfg.pst(d, prog, core.Baseline, trials, cfg.Seed+int64(day))
 		if err != nil {
-			return res, fmt.Errorf("fig14 day %d: %w", day, err)
+			return nil, fmt.Errorf("fig14 day %d: %w", day, err)
 		}
-		full, _, err := pst(d, prog, core.VQAVQM, trials, cfg.Seed+int64(day))
+		full, _, err := cfg.pst(d, prog, core.VQAVQM, trials, cfg.Seed+int64(day))
 		if err != nil {
-			return res, err
+			return nil, err
 		}
-		sum := summaryOfLinkRates(snaps[0].LinkRates())
-		res.Points = append(res.Points, Fig14Point{
+		return &Fig14Point{
 			Day:          day,
 			BaselinePST:  base,
 			VQAVQMPST:    full,
 			Relative:     metrics.Relative(full, base),
-			LinkErrorCoV: sum,
-		})
+			LinkErrorCoV: summaryOfLinkRates(snaps[0].LinkRates()),
+		}, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for _, p := range points {
+		if p != nil {
+			res.Points = append(res.Points, *p)
+		}
 	}
 	rels := make([]float64, len(res.Points))
 	for i, p := range res.Points {
@@ -302,8 +316,9 @@ func Table2ErrorScaling(cfg Config) ([]Table2Row, error) {
 	const archives = 7
 	scfg := sim.Config{DisableCoherence: true}
 	for i := range configs {
-		var rels []float64
-		for a := 0; a < archives; a++ {
+		// The archive realizations are independent; fan them out and keep
+		// seed order so the geomean sees a stable sequence.
+		rels, err := parallel.Map(cfg.Workers, archives, func(a int) (float64, error) {
 			arch := calib.Generate(calib.DefaultQ20Config(cfg.Seed + int64(a)))
 			d := device.MustNew(arch.Topo, arch.Mean())
 			if configs[i].MeanFactor != 1 || configs[i].CovFactor != 1 {
@@ -311,15 +326,18 @@ func Table2ErrorScaling(cfg Config) ([]Table2Row, error) {
 			}
 			baseComp, err := core.Compile(d, prog, core.Options{Policy: core.Baseline})
 			if err != nil {
-				return nil, fmt.Errorf("table2 %s: %w", configs[i].Label, err)
+				return 0, fmt.Errorf("table2 %s: %w", configs[i].Label, err)
 			}
 			fullComp, err := core.Compile(d, prog, core.Options{Policy: core.VQAVQM})
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			basePST := sim.AnalyticPST(d, baseComp.Routed.Physical, scfg)
 			fullPST := sim.AnalyticPST(d, fullComp.Routed.Physical, scfg)
-			rels = append(rels, metrics.Relative(fullPST, basePST))
+			return metrics.Relative(fullPST, basePST), nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		configs[i].Relative = metrics.GeoMean(rels)
 	}
@@ -361,19 +379,29 @@ func Table3IBMQ5(cfg Config) (Table3Result, error) {
 	cfg = cfg.withDefaults()
 	d := cfg.q5()
 	var res Table3Result
-	var rels []float64
-	for _, spec := range workloads.Q5Suite() {
-		base, _, err := pst(d, spec.Circuit, core.Baseline, cfg.Q5Trials, cfg.Seed)
+	suite := workloads.Q5Suite()
+	rows, err := parallel.Map(cfg.Workers, len(suite), func(i int) (Table3Row, error) {
+		spec := suite[i]
+		base, _, err := cfg.pst(d, spec.Circuit, core.Baseline, cfg.Q5Trials, cfg.Seed)
 		if err != nil {
-			return res, fmt.Errorf("table3 %s: %w", spec.Name, err)
+			return Table3Row{}, fmt.Errorf("table3 %s: %w", spec.Name, err)
 		}
-		full, _, err := pst(d, spec.Circuit, core.VQAVQM, cfg.Q5Trials, cfg.Seed)
+		full, _, err := cfg.pst(d, spec.Circuit, core.VQAVQM, cfg.Q5Trials, cfg.Seed)
 		if err != nil {
-			return res, err
+			return Table3Row{}, err
 		}
-		rel := metrics.Relative(full, base)
-		res.Rows = append(res.Rows, Table3Row{Name: spec.Name, BaselinePST: base, VQAVQMPST: full, Relative: rel})
-		rels = append(rels, rel)
+		return Table3Row{
+			Name: spec.Name, BaselinePST: base, VQAVQMPST: full,
+			Relative: metrics.Relative(full, base),
+		}, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Rows = rows
+	rels := make([]float64, len(rows))
+	for i, r := range rows {
+		rels[i] = r.Relative
 	}
 	res.GeoMean = metrics.GeoMean(rels)
 	return res, nil

@@ -1,0 +1,138 @@
+// Package parallel provides the bounded worker pools behind every
+// concurrent loop in the repository: the block-sharded Monte-Carlo
+// simulator (package sim) and the experiment fan-outs (package
+// experiments). The helpers preserve item order, propagate the first
+// error or panic with its item index, and degrade to a plain serial loop
+// for degenerate worker counts, so callers get identical results at any
+// parallelism level.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: n > 0 is taken literally,
+// n == 0 means one worker per available CPU (runtime.GOMAXPROCS), and
+// n < 0 forces serial execution.
+func Workers(n int) int {
+	switch {
+	case n > 0:
+		return n
+	case n == 0:
+		return runtime.GOMAXPROCS(0)
+	default:
+		return 1
+	}
+}
+
+// Error wraps a failure of one work item with the index it occurred at.
+type Error struct {
+	Index int
+	Err   error
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("item %d: %v", e.Index, e.Err) }
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// PanicError is the error recorded when a work item panics: the pool
+// recovers the panic instead of crashing the process or deadlocking the
+// dispatcher, and reports it like any other item failure.
+type PanicError struct {
+	Value any
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
+
+// ForEach runs fn(i) for every i in [0, n) on up to workers goroutines
+// (resolved via Workers). It blocks until all started items finish and
+// returns the failure with the lowest item index, wrapped in *Error; a
+// panicking fn is captured as *Error wrapping *PanicError. After the
+// first observed failure, not-yet-started items are skipped.
+//
+// With workers resolved to 1 (or n < 2) the loop runs on the calling
+// goroutine with no pool overhead — but identical semantics.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	errs := make([]error, n)
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if errs[i] = protect(i, fn); errs[i] != nil {
+				return errs[i]
+			}
+		}
+		return nil
+	}
+	var (
+		next   atomic.Int64 // next item index to claim
+		failed atomic.Bool  // stop claiming new items after a failure
+		wg     sync.WaitGroup
+	)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := protect(i, fn); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// protect invokes fn(i), converting an error or panic into an
+// index-tagged *Error.
+func protect(i int, fn func(i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &Error{Index: i, Err: &PanicError{Value: r}}
+		}
+	}()
+	if e := fn(i); e != nil {
+		return &Error{Index: i, Err: e}
+	}
+	return nil
+}
+
+// Map runs fn(i) for every i in [0, n) on up to workers goroutines and
+// returns the results in item order, regardless of completion order.
+// Error and panic semantics match ForEach; on failure the partial results
+// are discarded.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,149 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-5); got != 1 {
+		t.Fatalf("Workers(-5) = %d, want 1 (serial)", got)
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	for _, workers := range []int{-1, 1, 2, 8} {
+		out, err := Map(workers, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 100 {
+			t.Fatalf("workers=%d: %d results", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestForEachRunsEveryItem(t *testing.T) {
+	var ran atomic.Int64
+	if err := ForEach(4, 57, func(i int) error {
+		ran.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 57 {
+		t.Fatalf("ran %d items, want 57", ran.Load())
+	}
+}
+
+func TestForEachZeroAndNegativeN(t *testing.T) {
+	if err := ForEach(4, 0, func(i int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEach(4, -3, func(i int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrorCarriesItemIndex(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		err := ForEach(workers, 20, func(i int) error {
+			if i == 7 {
+				return boom
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: error swallowed", workers)
+		}
+		var pe *Error
+		if !errors.As(err, &pe) || pe.Index != 7 {
+			t.Fatalf("workers=%d: err = %v, want *Error at index 7", workers, err)
+		}
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: cause not unwrapped: %v", workers, err)
+		}
+	}
+}
+
+func TestLowestIndexErrorWins(t *testing.T) {
+	// Serial path: the scan guarantees the lowest failing index. Parallel
+	// failures report a deterministic index too, because ForEach drains all
+	// started items and scans errs in order.
+	err := ForEach(1, 10, func(i int) error {
+		if i >= 3 {
+			return fmt.Errorf("fail-%d", i)
+		}
+		return nil
+	})
+	var pe *Error
+	if !errors.As(err, &pe) || pe.Index != 3 {
+		t.Fatalf("err = %v, want index 3", err)
+	}
+}
+
+func TestPanicCapturedNotDeadlocked(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := ForEach(workers, 8, func(i int) error {
+			if i == 2 {
+				panic("kaboom")
+			}
+			return nil
+		})
+		var pe *Error
+		if !errors.As(err, &pe) || pe.Index != 2 {
+			t.Fatalf("workers=%d: err = %v, want *Error at index 2", workers, err)
+		}
+		var pan *PanicError
+		if !errors.As(err, &pan) || pan.Value != "kaboom" {
+			t.Fatalf("workers=%d: panic value lost: %v", workers, err)
+		}
+	}
+}
+
+func TestMapDiscardsPartialResultsOnError(t *testing.T) {
+	out, err := Map(4, 10, func(i int) (int, error) {
+		if i == 5 {
+			return 0, errors.New("bad")
+		}
+		return i, nil
+	})
+	if err == nil || out != nil {
+		t.Fatalf("Map on failure = (%v, %v), want (nil, err)", out, err)
+	}
+}
+
+// TestConcurrentStress drives the pool with more items than workers under
+// contention; it exists chiefly for go test -race (scripts/check.sh).
+func TestConcurrentStress(t *testing.T) {
+	var sum atomic.Int64
+	n := 2000
+	if testing.Short() {
+		n = 200
+	}
+	if err := ForEach(8, n, func(i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := int64(n) * int64(n-1) / 2
+	if sum.Load() != want {
+		t.Fatalf("sum = %d, want %d", sum.Load(), want)
+	}
+}

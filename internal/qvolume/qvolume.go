@@ -24,6 +24,7 @@ import (
 	"vaq/internal/circuit"
 	"vaq/internal/core"
 	"vaq/internal/device"
+	"vaq/internal/parallel"
 	"vaq/internal/sim"
 	"vaq/internal/statevec"
 )
@@ -111,6 +112,9 @@ type Config struct {
 	Policy   core.Policy
 	// Trials for the PST estimate (default: analytic only).
 	Trials int
+	// Workers bounds the goroutines evaluating model circuits (0: one per
+	// CPU, < 0: serial; see package parallel).
+	Workers int
 }
 
 func (c Config) circuits() int {
@@ -130,19 +134,22 @@ func Evaluate(d *device.Device, m int, cfg Config) (Result, error) {
 	if m > 14 {
 		return res, fmt.Errorf("qvolume: width %d beyond the exact-simulation budget", m)
 	}
-	for i := 0; i < res.Circuits; i++ {
+	// Model circuits are independent; fan them out and reduce the sums in
+	// circuit order so the result is identical at any worker count.
+	type sample struct{ pst, idealHOP float64 }
+	samples, err := parallel.Map(cfg.Workers, res.Circuits, func(i int) (sample, error) {
 		mc := ModelCircuit(m, cfg.Seed+int64(i)*101)
 		_, idealHOP, err := HeavyOutputs(mc)
 		if err != nil {
-			return res, err
+			return sample{}, err
 		}
 		comp, err := core.Compile(d, mc, core.Options{Policy: cfg.Policy, Seed: cfg.Seed + int64(i)})
 		if err != nil {
-			return res, err
+			return sample{}, err
 		}
 		var pst float64
 		if cfg.Trials > 0 {
-			out := sim.Run(d, comp.Routed.Physical, sim.Config{Trials: cfg.Trials, Seed: cfg.Seed + int64(i)})
+			out := sim.Run(d, comp.Routed.Physical, sim.Config{Trials: cfg.Trials, Seed: cfg.Seed + int64(i), Workers: cfg.Workers})
 			pst = out.PST
 			if out.Successes < 50 {
 				pst = sim.AnalyticPST(d, comp.Routed.Physical, sim.Config{})
@@ -150,9 +157,15 @@ func Evaluate(d *device.Device, m int, cfg Config) (Result, error) {
 		} else {
 			pst = sim.AnalyticPST(d, comp.Routed.Physical, sim.Config{})
 		}
-		res.MeanPST += pst / float64(res.Circuits)
-		res.IdealHOP += idealHOP / float64(res.Circuits)
-		res.NoisyHOP += (pst*idealHOP + (1-pst)*0.5) / float64(res.Circuits)
+		return sample{pst: pst, idealHOP: idealHOP}, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for _, s := range samples {
+		res.MeanPST += s.pst / float64(res.Circuits)
+		res.IdealHOP += s.idealHOP / float64(res.Circuits)
+		res.NoisyHOP += (s.pst*s.idealHOP + (1-s.pst)*0.5) / float64(res.Circuits)
 	}
 	res.Pass = res.NoisyHOP > 2.0/3.0
 	return res, nil

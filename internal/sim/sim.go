@@ -25,9 +25,7 @@
 package sim
 
 import (
-	"fmt"
 	"math"
-	"math/rand"
 	"time"
 
 	"vaq/internal/circuit"
@@ -45,12 +43,24 @@ const DefaultCoherenceDuty = 0.05
 // (STPT) computations only.
 const DefaultResetOverhead = 10 * time.Microsecond
 
+// BlockSize is the fixed Monte-Carlo shard width: trials are split into
+// consecutive blocks of this many, each with an independently derived RNG
+// stream (see blockSeed). Because the block structure depends only on the
+// trial count — never on the worker count — a given (circuit, Config.Seed)
+// pair produces a bit-identical Outcome whether the blocks run on one
+// goroutine or many.
+const BlockSize = 4096
+
 // Config controls a simulation.
 type Config struct {
 	// Trials for the Monte Carlo estimator (default 100000).
 	Trials int
 	// Seed makes runs reproducible.
 	Seed int64
+	// Workers bounds the goroutines simulating trial blocks: > 0 is taken
+	// literally, 0 (the default) uses one worker per CPU, and < 0 forces
+	// serial execution. The Outcome is identical at every setting.
+	Workers int
 	// DisableCoherence turns off the decoherence model (gate and readout
 	// errors only).
 	DisableCoherence bool
@@ -106,61 +116,11 @@ func AnalyticPST(d *device.Device, phys *circuit.Circuit, cfg Config) float64 {
 	return p
 }
 
-// Run executes the Monte Carlo fault-injection simulation.
+// Run executes the Monte Carlo fault-injection simulation. It is
+// shorthand for Prepare(d, phys, cfg).Run(cfg); callers estimating the
+// same compiled circuit repeatedly should Prepare once and reuse it.
 func Run(d *device.Device, phys *circuit.Circuit, cfg Config) Outcome {
-	if phys.NumQubits > d.NumQubits() {
-		panic(fmt.Sprintf("sim: circuit uses %d qubits, device has %d", phys.NumQubits, d.NumQubits()))
-	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	trials := cfg.trials()
-
-	// Precompute per-gate failure probabilities once.
-	gateErr := make([]float64, len(phys.Gates))
-	gateClass := make([]gate.ErrorClass, len(phys.Gates))
-	for i, g := range phys.Gates {
-		gateErr[i] = 1 - d.GateSuccess(g.Kind, g.Qubits)
-		gateClass[i] = g.Kind.Class()
-	}
-	var coh []float64
-	if !cfg.DisableCoherence {
-		coh = coherenceErrors(d, phys, cfg.duty())
-	}
-
-	out := Outcome{Trials: trials}
-	for t := 0; t < trials; t++ {
-		failed := false
-		for i := range gateErr {
-			if gateErr[i] > 0 && rng.Float64() < gateErr[i] {
-				failed = true
-				if gateClass[i] == gate.Readout {
-					out.ReadoutFailures++
-				} else {
-					out.GateFailures++
-				}
-				break
-			}
-		}
-		if !failed && coh != nil {
-			for _, perr := range coh {
-				if perr > 0 && rng.Float64() < perr {
-					failed = true
-					out.CoherenceFailures++
-					break
-				}
-			}
-		}
-		if !failed {
-			out.Successes++
-		}
-	}
-	out.PST = float64(out.Successes) / float64(trials)
-	out.StdErr = math.Sqrt(out.PST * (1 - out.PST) / float64(trials))
-	out.Duration = schedule.ASAP(phys).Makespan
-	out.TrialLatency = out.Duration + DefaultResetOverhead
-	if out.TrialLatency > 0 {
-		out.SuccessesPerSecond = out.PST / out.TrialLatency.Seconds()
-	}
-	return out
+	return Prepare(d, phys, cfg).Run(cfg)
 }
 
 // Breakdown reports the expected number of failure events per trial in
@@ -196,8 +156,13 @@ func AnalyticBreakdown(d *device.Device, phys *circuit.Circuit, cfg Config) Brea
 // the qubit's first and last scheduled operation, attenuated by the duty
 // factor, charged against both T1 and T2.
 func coherenceErrors(d *device.Device, phys *circuit.Circuit, duty float64) []float64 {
-	idle := IdleTimes(phys)
-	out := make([]float64, phys.NumQubits)
+	return coherenceErrorsFromIdle(d, IdleTimes(phys), duty)
+}
+
+// coherenceErrorsFromIdle is coherenceErrors for an already-computed idle
+// profile (Prepare reuses the ASAP schedule it needs anyway).
+func coherenceErrorsFromIdle(d *device.Device, idle []time.Duration, duty float64) []float64 {
+	out := make([]float64, len(idle))
 	snap := d.Snapshot()
 	for q := range out {
 		if idle[q] <= 0 {

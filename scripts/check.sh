@@ -1,0 +1,12 @@
+#!/usr/bin/env sh
+# Tier-1 + concurrency gate: vet, then the full test suite under the race
+# detector, which exercises the worker pool (internal/parallel), the
+# block-sharded Monte-Carlo simulator, and the concurrent experiment
+# fan-out. Pass extra go-test flags through, e.g.:
+#
+#	scripts/check.sh -short       # quick race pass
+#	scripts/check.sh -count=1     # force re-run
+set -eu
+cd "$(dirname "$0")/.."
+go vet ./...
+go test -race "$@" ./...
