@@ -35,7 +35,14 @@ func (m Mapping) Clone() Mapping {
 // Inverse returns the physical→program view over numPhysical qubits;
 // unoccupied physical qubits map to −1.
 func (m Mapping) Inverse(numPhysical int) []int {
-	inv := make([]int, numPhysical)
+	return m.InverseInto(make([]int, numPhysical))
+}
+
+// InverseInto fills inv — whose length is the physical qubit count — with
+// the physical→program view and returns it; unoccupied physical qubits
+// map to −1. The allocation-free form of Inverse for callers (the routing
+// search) that own a reusable buffer.
+func (m Mapping) InverseInto(inv []int) []int {
 	for i := range inv {
 		inv[i] = -1
 	}

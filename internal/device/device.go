@@ -31,10 +31,12 @@ type Device struct {
 	costGraphOnce sync.Once
 	hopDistOnce   sync.Once
 	costDistOnce  sync.Once
+	fpOnce        sync.Once
 	hopGraph      *graphx.Graph
 	costGraph     *graphx.Graph
 	hopDist       [][]float64
 	costDist      [][]float64
+	fp            uint64
 }
 
 // New validates the snapshot against the topology and returns a Device.
@@ -153,6 +155,50 @@ func (d *Device) HopDistance(a, b int) float64 {
 func (d *Device) CostDistance(a, b int) float64 {
 	d.costDistOnce.Do(func() { d.costDist = d.CostGraph().AllPairsDijkstra() })
 	return d.costDist[a][b]
+}
+
+// Fingerprint returns a 64-bit digest of everything a routing or
+// allocation cost table can depend on: the topology (name, size, coupling
+// list) and every calibration figure of the snapshot (link/gate/readout
+// error rates and coherence times). Two Devices with equal fingerprints
+// are interchangeable for cost-table construction, so per-device caches —
+// in particular the routing cost cache in internal/route — key on it.
+// Recalibration (a new snapshot) or restriction (a sub-topology) produces
+// a different fingerprint, which is how those caches invalidate.
+//
+// The digest is computed once (a Device is an immutable pairing; see the
+// type comment) with FNV-1a over the raw float64 bits, so it is exact:
+// any bit change in any rate changes the fingerprint.
+func (d *Device) Fingerprint() uint64 {
+	d.fpOnce.Do(func() {
+		h := uint64(14695981039346656037) // FNV-1a offset basis
+		mix := func(x uint64) {
+			for i := 0; i < 8; i++ {
+				h ^= x & 0xff
+				h *= 1099511628211 // FNV-1a prime
+				x >>= 8
+			}
+		}
+		for _, b := range []byte(d.topo.Name) {
+			h ^= uint64(b)
+			h *= 1099511628211
+		}
+		mix(uint64(d.topo.NumQubits))
+		for _, c := range d.topo.Couplings {
+			mix(uint64(c.A))
+			mix(uint64(c.B))
+		}
+		for _, c := range d.topo.Couplings {
+			mix(math.Float64bits(d.snap.TwoQubit[c]))
+		}
+		for _, vs := range [][]float64{d.snap.OneQubit, d.snap.Readout, d.snap.T1Us, d.snap.T2Us} {
+			for _, v := range vs {
+				mix(math.Float64bits(v))
+			}
+		}
+		d.fp = h
+	})
+	return d.fp
 }
 
 // RouteSuccess converts an additive reliability cost back into a success

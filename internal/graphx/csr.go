@@ -1,0 +1,175 @@
+package graphx
+
+// CSR is an immutable compressed-sparse-row snapshot of a Graph: for each
+// node u, its neighbors (ascending) and edge weights live in
+// dst[off[u]:off[u+1]] / wts[off[u]:off[u+1]]. Unlike Graph, whose
+// adjacency maps force a per-visit sort in every traversal, a CSR is
+// built once and then walked with zero allocations — the shape the
+// all-pairs builders in the routing cost tables want. Because it is
+// immutable it is safe to share across goroutines.
+//
+// The traversal order (neighbors ascending, heap ties broken by node
+// index) matches Graph.Dijkstra and Graph.HopDistances exactly, so the
+// distance matrices computed here are bit-identical to the Graph ones —
+// a property the routing determinism tests rely on.
+type CSR struct {
+	n   int
+	off []int32
+	dst []int32
+	wts []float64
+}
+
+// CSR builds the compressed snapshot of the graph's current adjacency.
+func (g *Graph) CSR() *CSR {
+	c := &CSR{
+		n:   g.n,
+		off: make([]int32, g.n+1),
+		dst: make([]int32, 0, 2*g.NumEdges()),
+		wts: make([]float64, 0, 2*g.NumEdges()),
+	}
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.Neighbors(u) {
+			c.dst = append(c.dst, int32(v))
+			c.wts = append(c.wts, g.adj[u][v])
+		}
+		c.off[u+1] = int32(len(c.dst))
+	}
+	return c
+}
+
+// N returns the number of nodes.
+func (c *CSR) N() int { return c.n }
+
+// csrItem is a (dist, node) heap entry; ordering matches graphx.pq with
+// hops fixed at zero: by distance, ties by node index.
+type csrItem struct {
+	dist float64
+	node int32
+}
+
+func csrLess(a, b csrItem) bool {
+	if a.dist != b.dist {
+		return a.dist < b.dist
+	}
+	return a.node < b.node
+}
+
+func csrPush(h *[]csrItem, it csrItem) {
+	*h = append(*h, it)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !csrLess((*h)[i], (*h)[p]) {
+			break
+		}
+		(*h)[i], (*h)[p] = (*h)[p], (*h)[i]
+		i = p
+	}
+}
+
+func csrPop(h *[]csrItem) csrItem {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old = old[:n]
+	*h = old
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && csrLess(old[l], old[s]) {
+			s = l
+		}
+		if r < n && csrLess(old[r], old[s]) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		old[i], old[s] = old[s], old[i]
+		i = s
+	}
+	return top
+}
+
+// DijkstraInto computes the minimum total edge weight from src to every
+// node into dist (len N), reusing done and heap as scratch. It performs
+// exactly the relaxations Graph.Dijkstra performs, in the same order.
+func (c *CSR) DijkstraInto(src int, dist []float64, done []bool, h *[]csrItem) {
+	for i := range dist {
+		dist[i] = Inf
+		done[i] = false
+	}
+	dist[src] = 0
+	*h = (*h)[:0]
+	csrPush(h, csrItem{node: int32(src)})
+	for len(*h) > 0 {
+		u := csrPop(h).node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		for i := c.off[u]; i < c.off[u+1]; i++ {
+			v := c.dst[i]
+			if nd := dist[u] + c.wts[i]; nd < dist[v] {
+				dist[v] = nd
+				csrPush(h, csrItem{node: v, dist: nd})
+			}
+		}
+	}
+}
+
+// AllPairsDijkstra returns the full weighted distance matrix. The rows
+// share one flat backing array (n²+n allocations become 2).
+func (c *CSR) AllPairsDijkstra() [][]float64 {
+	out, flat := flatMatrix(c.n)
+	done := make([]bool, c.n)
+	h := make([]csrItem, 0, c.n)
+	for u := 0; u < c.n; u++ {
+		c.DijkstraInto(u, flat[u*c.n:(u+1)*c.n], done, &h)
+	}
+	return out
+}
+
+// HopsInto computes minimum hop counts from src into dist (len N) by
+// breadth-first search, reusing queue as scratch.
+func (c *CSR) HopsInto(src int, dist []float64, queue *[]int32) {
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[src] = 0
+	q := (*queue)[:0]
+	q = append(q, int32(src))
+	for head := 0; head < len(q); head++ {
+		u := q[head]
+		for i := c.off[u]; i < c.off[u+1]; i++ {
+			v := c.dst[i]
+			if dist[v] == Inf {
+				dist[v] = dist[u] + 1
+				q = append(q, v)
+			}
+		}
+	}
+	*queue = q
+}
+
+// AllPairsHops returns the matrix of minimum hop counts, flat-backed.
+func (c *CSR) AllPairsHops() [][]float64 {
+	out, flat := flatMatrix(c.n)
+	queue := make([]int32, 0, c.n)
+	for u := 0; u < c.n; u++ {
+		c.HopsInto(u, flat[u*c.n:(u+1)*c.n], &queue)
+	}
+	return out
+}
+
+// flatMatrix returns an n×n matrix whose rows view one backing slice.
+func flatMatrix(n int) ([][]float64, []float64) {
+	flat := make([]float64, n*n)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = flat[i*n : (i+1)*n]
+	}
+	return out, flat
+}

@@ -1,0 +1,87 @@
+package route
+
+import (
+	"testing"
+
+	"vaq/internal/workloads"
+)
+
+// BenchmarkNewCosts measures a cold cost-table build for the Q20 machine:
+// two all-pairs distance matrices plus the adjacency tables. This is the
+// work the cost cache amortizes away.
+func BenchmarkNewCosts(b *testing.B) {
+	d := goldenQ20()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cm := newCosts(d, CostReliability); cm == nil {
+			b.Fatal("nil cost table")
+		}
+	}
+}
+
+// BenchmarkSearchSwaps measures one packed-state A* search over a dense
+// layer on IBM Q20: four simultaneous CNOT pairs, each a few hops apart,
+// under identity placement. Exercises the hot path in isolation — slab
+// states, packed keys, the custom open heap — without circuit emission.
+func BenchmarkSearchSwaps(b *testing.B) {
+	d := goldenQ20()
+	cm := cachedCosts(d, CostReliability)
+	r := AStar{Cost: CostReliability, MAH: -1}
+	m := identity(20)
+	pairs := [][2]int{{0, 7}, {5, 12}, {10, 17}, {4, 13}}
+
+	sc := scratchPool.Get().(*searchScratch)
+	defer scratchPool.Put(sc)
+	sc.setup(20, 20)
+	sc.buildLayerPairs(func(int) [][2]int { return pairs }, 1)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan, ok := r.searchSwaps(cm, sc, m, pairs, nil, nil, 50000)
+		if !ok || len(plan) == 0 {
+			b.Fatalf("search failed: ok=%v plan=%v", ok, plan)
+		}
+	}
+}
+
+// BenchmarkRouteCached routes BV-16 with the cost tables already memoized:
+// the steady state of a calibration sweep, where routing cost is the search
+// plus output emission only.
+func BenchmarkRouteCached(b *testing.B) {
+	d := goldenQ20()
+	c := workloads.BV(16)
+	init := identity(c.NumQubits)
+	r := AStar{Cost: CostReliability, MAH: -1}
+	if _, err := r.Route(d, c, init); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Route(d, c, init); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRouteCold is BenchmarkRouteCached with the cache dropped every
+// iteration, so each Route pays the full cost-table build. The gap between
+// the two is the per-compile saving the cache buys.
+func BenchmarkRouteCold(b *testing.B) {
+	d := goldenQ20()
+	c := workloads.BV(16)
+	init := identity(c.NumQubits)
+	r := AStar{Cost: CostReliability, MAH: -1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resetCostCache()
+		if _, err := r.Route(d, c, init); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	resetCostCache()
+}

@@ -1,0 +1,80 @@
+package route
+
+import (
+	"sync"
+
+	"vaq/internal/device"
+)
+
+// The cost cache memoizes the per-device search tables (two all-pairs
+// distance matrices plus two adjacency-cost matrices — O(n²·|E|) to
+// build) across Route calls. The experiment harness compiles every
+// workload across 104 calibration days × several policies × several
+// candidate allocations, and before this cache each of those compiles
+// rebuilt identical tables from scratch; with it, each (calibration,
+// cost-model) pair is built exactly once per process.
+//
+// The key is device.Device.Fingerprint() — an exact digest of the
+// topology and every calibration figure — paired with the cost model.
+// Recalibrating (a new snapshot) or restricting the device (Section 8
+// partitioning) changes the fingerprint, so stale tables can never be
+// served; distinct Device values wrapping identical calibration data
+// share one table, which is what the per-day sweep wants.
+//
+// Entries are built under a per-key sync.Once so concurrent Route calls
+// on a new device build the table once and everyone else blocks on that
+// build rather than duplicating it. The finished *costs value is
+// immutable, so sharing it across goroutines is race-free.
+
+type costKey struct {
+	fp    uint64
+	model CostModel
+}
+
+type costEntry struct {
+	once sync.Once
+	cm   *costs
+}
+
+var (
+	costMu    sync.Mutex
+	costTable = make(map[costKey]*costEntry)
+)
+
+// maxCostEntries bounds the cache. A 104-day sweep needs 2 models × 104
+// fingerprints ≈ 208 live entries; the bound only matters for pathological
+// churn (e.g. fuzzing over thousands of synthetic devices), where the
+// whole table is dropped and rebuilt rather than tracking recency.
+const maxCostEntries = 1024
+
+// cachedCosts returns the memoized search tables for (d, model),
+// building them on first use.
+func cachedCosts(d *device.Device, model CostModel) *costs {
+	key := costKey{fp: d.Fingerprint(), model: model}
+	costMu.Lock()
+	e, ok := costTable[key]
+	if !ok {
+		if len(costTable) >= maxCostEntries {
+			costTable = make(map[costKey]*costEntry, maxCostEntries/4)
+		}
+		e = &costEntry{}
+		costTable[key] = e
+	}
+	costMu.Unlock()
+	e.once.Do(func() { e.cm = newCosts(d, model) })
+	return e.cm
+}
+
+// resetCostCache drops every memoized table (test hook).
+func resetCostCache() {
+	costMu.Lock()
+	costTable = make(map[costKey]*costEntry)
+	costMu.Unlock()
+}
+
+// costCacheLen reports the number of cached tables (test hook).
+func costCacheLen() int {
+	costMu.Lock()
+	defer costMu.Unlock()
+	return len(costTable)
+}

@@ -1,0 +1,144 @@
+package route
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"os"
+	"testing"
+
+	"vaq/internal/alloc"
+	"vaq/internal/calib"
+	"vaq/internal/circuit"
+	"vaq/internal/device"
+	"vaq/internal/topo"
+	"vaq/internal/workloads"
+)
+
+// resultHash serializes every observable field of a routed Result into a
+// 64-bit FNV-1a hash: the physical gate stream (kind, operands, parameter,
+// classical bit), both mappings, the swap count, and the movement indices.
+// Two Results hash equal iff they are bit-identical for every consumer in
+// the repository.
+func resultHash(res *Result) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "n=%d cb=%d\n", res.Physical.NumQubits, res.Physical.NumCBits)
+	for _, g := range res.Physical.Gates {
+		fmt.Fprintf(h, "g %d %v %v %d\n", g.Kind, g.Qubits, g.Param, g.CBit)
+	}
+	fmt.Fprintf(h, "i %v\nf %v\ns %d\nm %v\n", res.Initial, res.Final, res.Swaps, res.Movement)
+	return h.Sum64()
+}
+
+// goldenCase is one (device, circuit, mapping, router) combination whose
+// routed output is pinned. The expected hashes were captured from the
+// pre-packed-state implementation (PR 1), so this suite is the regression
+// gate for "the zero-alloc rewrite changed no output bit".
+type goldenCase struct {
+	name   string
+	device func() *device.Device
+	prog   func() *circuit.Circuit
+	init   func(d *device.Device, c *circuit.Circuit) alloc.Mapping
+	router Router
+	want   uint64
+}
+
+func goldenQ20() *device.Device {
+	arch := calib.Generate(calib.DefaultQ20Config(2019))
+	return device.MustNew(arch.Topo, arch.Mean())
+}
+
+func goldenQ5() *device.Device {
+	return uniformDevice(topo.IBMQ5(), 0.04)
+}
+
+func identityInit(d *device.Device, c *circuit.Circuit) alloc.Mapping {
+	return identity(c.NumQubits)
+}
+
+func permInit(seed int64) func(d *device.Device, c *circuit.Circuit) alloc.Mapping {
+	return func(d *device.Device, c *circuit.Circuit) alloc.Mapping {
+		rng := rand.New(rand.NewSource(seed))
+		m := make(alloc.Mapping, c.NumQubits)
+		copy(m, rng.Perm(d.NumQubits())[:c.NumQubits])
+		return m
+	}
+}
+
+func goldenRandomCircuit(n, gates int, seed int64) *circuit.Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	c := circuit.New("rand", n)
+	for i := 0; i < gates; i++ {
+		a := rng.Intn(n)
+		switch rng.Intn(4) {
+		case 0:
+			c.H(a)
+		case 1:
+			c.RZ(rng.Float64(), a)
+		default:
+			b := (a + 1 + rng.Intn(n-1)) % n
+			c.CX(a, b)
+		}
+	}
+	return c.MeasureAll()
+}
+
+func goldenCases() []goldenCase {
+	hops := AStar{Cost: CostHops, MAH: -1}
+	rel := AStar{Cost: CostReliability, MAH: -1}
+	mah4 := AStar{Cost: CostReliability, MAH: 4}
+	return []goldenCase{
+		{"q20/bv16/hops", goldenQ20, func() *circuit.Circuit { return workloads.BV(16) }, identityInit, hops, 0x8974ee7d7da4d1b4},
+		{"q20/bv16/reliability", goldenQ20, func() *circuit.Circuit { return workloads.BV(16) }, identityInit, rel, 0x0c26f74dbc0733aa},
+		{"q20/bv16/mah4", goldenQ20, func() *circuit.Circuit { return workloads.BV(16) }, identityInit, mah4, 0x0c26f74dbc0733aa},
+		{"q20/qft8/hops", goldenQ20, func() *circuit.Circuit { return workloads.QFT(8) }, permInit(7), hops, 0x166a87dd50b870d6},
+		{"q20/qft8/reliability", goldenQ20, func() *circuit.Circuit { return workloads.QFT(8) }, permInit(7), rel, 0x847f2227429ac323},
+		{"q20/qft8/mah4", goldenQ20, func() *circuit.Circuit { return workloads.QFT(8) }, permInit(7), mah4, 0x847f2227429ac323},
+		{"q20/rand12/reliability", goldenQ20, func() *circuit.Circuit { return goldenRandomCircuit(12, 40, 11) }, permInit(3), rel, 0x527ab2498035a25e},
+		{"q20/rand12/naive", goldenQ20, func() *circuit.Circuit { return goldenRandomCircuit(12, 40, 11) }, permInit(3), Naive{}, 0xfd8cd1abc6843082},
+		{"ring5/rand4/hops", ring5Fig1, func() *circuit.Circuit { return goldenRandomCircuit(4, 20, 5) }, permInit(9), hops, 0x8066bc2c8eff2838},
+		{"ring5/rand4/reliability", ring5Fig1, func() *circuit.Circuit { return goldenRandomCircuit(4, 20, 5) }, permInit(9), rel, 0x12bff4dc39499aa4},
+		{"q5/bv4/reliability", goldenQ5, func() *circuit.Circuit { return workloads.BV(4) }, permInit(2), rel, 0xd6fdf65a50e1da2c},
+		{"q5/triswap/mah4", goldenQ5, func() *circuit.Circuit {
+			return circuit.New("triswap", 3).X(0).Swap(0, 1).Swap(1, 2).Swap(0, 1).MeasureAll()
+		}, permInit(4), mah4, 0xcaff12d33c513115},
+	}
+}
+
+// TestGoldenRoutingDeterminism pins the routed output of every golden case
+// to the hash captured before the zero-alloc rewrite, on both a cold and a
+// warm cost cache. Set GOLDEN_PRINT=1 to print current hashes (for
+// regenerating the table after an intentional output change).
+func TestGoldenRoutingDeterminism(t *testing.T) {
+	print := os.Getenv("GOLDEN_PRINT") == "1"
+	for _, tc := range goldenCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			d := tc.device()
+			c := tc.prog()
+			init := tc.init(d, c)
+			res, err := tc.router.Route(d, c, init)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := resultHash(res)
+			if print {
+				fmt.Printf("golden %-28s 0x%016x\n", tc.name, got)
+				return
+			}
+			if got != tc.want {
+				t.Fatalf("routed output changed: hash 0x%016x, golden 0x%016x", got, tc.want)
+			}
+			// Routing again (warm cost cache) must reproduce the same bytes.
+			res2, err := tc.router.Route(d, c, init)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again := resultHash(res2); again != got {
+				t.Fatalf("warm-cache rerun diverged: 0x%016x vs 0x%016x", again, got)
+			}
+			if err := Verify(d, c, res); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

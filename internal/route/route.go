@@ -21,6 +21,7 @@ import (
 	"vaq/internal/alloc"
 	"vaq/internal/circuit"
 	"vaq/internal/device"
+	"vaq/internal/gate"
 )
 
 // Result is a routed (physical) program.
@@ -110,11 +111,15 @@ func (r AStar) Name() string {
 }
 
 // Route compiles c onto d starting from initial.
+//
+// The cost tables are memoized per (device fingerprint, cost model) — see
+// cache.go — and every search buffer comes from a pooled scratch, so in a
+// warmed-up compile loop routing allocates only the output circuit.
 func (r AStar) Route(d *device.Device, c *circuit.Circuit, initial alloc.Mapping) (*Result, error) {
 	if err := prepare(d, c, initial); err != nil {
 		return nil, err
 	}
-	cm := newCosts(d, r.Cost)
+	cm := cachedCosts(d, r.Cost)
 	maxExp := r.MaxExpansions
 	if maxExp <= 0 {
 		maxExp = 50000
@@ -125,33 +130,39 @@ func (r AStar) Route(d *device.Device, c *circuit.Circuit, initial alloc.Mapping
 	m := initial.Clone()
 	swaps := 0
 	var movement []int
+	var ops opSlab
+
+	sc := scratchPool.Get().(*searchScratch)
+	defer scratchPool.Put(sc)
+	sc.setup(c.NumQubits, d.NumQubits())
 
 	layers := c.Layers()
+	sc.buildLayerPairs(func(li int) [][2]int { return layerPairs(c, layers[li]) }, len(layers))
 	for li, layer := range layers {
-		pairs := layerPairs(c, layer)
+		pairs := sc.layerPairsAt(li)
 		// Lookahead (as in Zulehner et al.): bias this layer's SWAP choice
 		// toward mappings that also keep the next layers' CNOT partners
 		// close, with geometrically decaying weight. Purely a tie-breaker
 		// in the search heuristic; the goal is still the current layer.
-		var future [][2]int
-		var futureW []float64
+		sc.future = sc.future[:0]
+		sc.futureW = sc.futureW[:0]
 		weight := lookaheadDecay
 		for lj := li + 1; lj < len(layers) && lj <= li+lookaheadDepth; lj++ {
-			for _, pr := range layerPairs(c, layers[lj]) {
-				future = append(future, pr)
-				futureW = append(futureW, weight)
+			for _, pr := range sc.layerPairsAt(lj) {
+				sc.future = append(sc.future, pr)
+				sc.futureW = append(sc.futureW, weight)
 			}
 			weight *= lookaheadDecay
 		}
-		plan, ok := r.searchSwaps(d, cm, m, pairs, future, futureW, maxExp)
+		plan, ok := r.searchSwaps(cm, sc, m, pairs, sc.future, sc.futureW, maxExp)
 		if ok {
 			for _, sw := range plan {
-				emitSwap(out, m, sw)
+				emitSwap(out, m, sw, &ops)
 				swaps++
 				movement = append(movement, len(out.Gates)-1)
 			}
 			for _, gi := range layer {
-				emitGate(out, c.Gates[gi], m)
+				emitGate(out, c.Gates[gi], m, &ops)
 			}
 			continue
 		}
@@ -161,13 +172,13 @@ func (r AStar) Route(d *device.Device, c *circuit.Circuit, initial alloc.Mapping
 		for _, gi := range layer {
 			g := c.Gates[gi]
 			if g.Kind.TwoQubit() {
-				for _, sw := range r.pairPlan(d, cm, m[g.Qubits[0]], m[g.Qubits[1]]) {
-					emitSwap(out, m, sw)
+				for _, sw := range r.pairPlan(cm, m[g.Qubits[0]], m[g.Qubits[1]]) {
+					emitSwap(out, m, sw, &ops)
 					swaps++
 					movement = append(movement, len(out.Gates)-1)
 				}
 			}
-			emitGate(out, c.Gates[gi], m)
+			emitGate(out, c.Gates[gi], m, &ops)
 		}
 	}
 	return &Result{Physical: out, Initial: initial.Clone(), Final: m, Swaps: swaps, Movement: movement}, nil
@@ -204,10 +215,32 @@ func layerPairs(c *circuit.Circuit, layer []int) [][2]int {
 	return pairs
 }
 
+// opSlab hands out operand slices for emitted gates in 1 KiB chunks, so a
+// routed circuit performs one allocation per ~512 gates instead of one per
+// gate. The slices are retained by the output circuit, so the slab is
+// per-Route and never pooled; exhausted chunks stay alive through the gate
+// slices that point into them.
+type opSlab struct{ buf []int }
+
+func (s *opSlab) take(n int) []int {
+	if len(s.buf) < n {
+		size := 1024
+		if n > size {
+			size = n
+		}
+		s.buf = make([]int, size)
+	}
+	out := s.buf[:n:n]
+	s.buf = s.buf[n:]
+	return out
+}
+
 // emitSwap appends the SWAP to the output circuit and updates the
 // program→physical mapping for any program qubits it displaces.
-func emitSwap(out *circuit.Circuit, m alloc.Mapping, sw physPair) {
-	out.Swap(sw.U, sw.V)
+func emitSwap(out *circuit.Circuit, m alloc.Mapping, sw physPair, ops *opSlab) {
+	qs := ops.take(2)
+	qs[0], qs[1] = sw.U, sw.V
+	out.Append(circuit.Gate{Kind: gate.SWAP, Qubits: qs, CBit: -1})
 	for p, phys := range m {
 		switch phys {
 		case sw.U:
@@ -219,8 +252,8 @@ func emitSwap(out *circuit.Circuit, m alloc.Mapping, sw physPair) {
 }
 
 // emitGate appends gate g with operands mapped through m.
-func emitGate(out *circuit.Circuit, g circuit.Gate, m alloc.Mapping) {
-	qs := make([]int, len(g.Qubits))
+func emitGate(out *circuit.Circuit, g circuit.Gate, m alloc.Mapping, ops *opSlab) {
+	qs := ops.take(len(g.Qubits))
 	for i, q := range g.Qubits {
 		qs[i] = m[q]
 	}
@@ -245,6 +278,7 @@ func (Naive) Route(d *device.Device, c *circuit.Circuit, initial alloc.Mapping) 
 	hop := d.HopGraph()
 	swaps := 0
 	var movement []int
+	var ops opSlab
 	for _, g := range c.Gates {
 		if g.Kind.TwoQubit() {
 			src, dst := m[g.Qubits[0]], m[g.Qubits[1]]
@@ -255,13 +289,13 @@ func (Naive) Route(d *device.Device, c *circuit.Circuit, initial alloc.Mapping) 
 				}
 				// Swap the control down the path until adjacent to dst.
 				for i := 0; i+2 < len(path); i++ {
-					emitSwap(out, m, physPair{path[i], path[i+1]})
+					emitSwap(out, m, physPair{path[i], path[i+1]}, &ops)
 					swaps++
 					movement = append(movement, len(out.Gates)-1)
 				}
 			}
 		}
-		emitGate(out, g, m)
+		emitGate(out, g, m, &ops)
 	}
 	return &Result{Physical: out, Initial: initial.Clone(), Final: m, Swaps: swaps, Movement: movement}, nil
 }

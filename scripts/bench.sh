@@ -1,0 +1,49 @@
+#!/usr/bin/env sh
+# Benchmark runner + snapshot writer. Runs the repository's tracked
+# benchmarks (Monte-Carlo simulator, compile pipeline, routing core) with
+# allocation reporting and parses the output into a machine-readable
+# BENCH_<yyyymmdd>.json in the repo root, so perf regressions can be
+# diffed across PRs. Usage:
+#
+#	scripts/bench.sh          # one run of each benchmark
+#	scripts/bench.sh 5        # -count=5 (five samples per benchmark)
+set -eu
+cd "$(dirname "$0")/.."
+
+COUNT="${1:-1}"
+PATTERN='MonteCarlo|CompilePipeline|Route|NewCosts|SearchSwaps'
+OUT="BENCH_$(date +%Y%m%d).json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench "$PATTERN" -benchmem -count="$COUNT" ./... | tee "$RAW"
+
+awk -v count="$COUNT" '
+BEGIN { n = 0 }
+/^goos:/   { goos = $2 }
+/^goarch:/ { goarch = $2 }
+/^Benchmark/ {
+	ns = ""; bop = "0"; aop = "0"
+	for (i = 2; i <= NF; i++) {
+		if ($i == "ns/op") ns = $(i-1)
+		else if ($i == "B/op") bop = $(i-1)
+		else if ($i == "allocs/op") aop = $(i-1)
+	}
+	if (ns == "") next
+	if (n++) printf(",\n")
+	printf("    {\"name\": \"%s\", \"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}", $1, ns, bop, aop)
+}
+END {
+	print ""
+	print "  ],"
+	printf("  \"goos\": \"%s\", \"goarch\": \"%s\", \"count\": %s\n", goos, goarch, count)
+	print "}"
+}
+' "$RAW" > "$OUT.tmp"
+
+{
+	printf '{\n  "date": "%s",\n  "benchmarks": [\n' "$(date +%Y-%m-%d)"
+	cat "$OUT.tmp"
+} > "$OUT"
+rm -f "$OUT.tmp"
+echo "wrote $OUT"

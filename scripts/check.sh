@@ -10,3 +10,7 @@ set -eu
 cd "$(dirname "$0")/.."
 go vet ./...
 go test -race "$@" ./...
+# Benchmark smoke: one iteration of every tracked benchmark, so a change
+# that breaks a benchmark body (rather than its performance) fails the
+# gate instead of surfacing at the next scripts/bench.sh run.
+go test -run '^$' -bench 'MonteCarlo|CompilePipeline|Route|NewCosts|SearchSwaps' -benchtime=1x ./...
