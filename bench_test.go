@@ -181,7 +181,7 @@ func BenchmarkFig16Partitioning(b *testing.B) {
 
 func benchDevice() *device.Device {
 	arch := calib.Generate(calib.DefaultQ20Config(2019))
-	return device.MustNew(arch.Topo, arch.Mean())
+	return device.MustNew(arch.Topo, arch.MustMean())
 }
 
 // BenchmarkAblationCostFunction compares the routing cost function (hop

@@ -65,7 +65,7 @@ func printSummary(arch *calib.Archive) error {
 	one := calib.Summarize(arch.ArchiveOneQubitRates())
 	t1 := calib.Summarize(arch.ArchiveT1s())
 	t2 := calib.Summarize(arch.ArchiveT2s())
-	mean := arch.Mean()
+	mean := arch.MustMean()
 	strongest, sErr := mean.StrongestLink()
 	weakest, wErr := mean.WeakestLink()
 

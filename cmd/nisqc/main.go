@@ -71,11 +71,18 @@ func run(workload, qasmPath, policyName, deviceName, calibPath string, seed int6
 			return err
 		}
 		defer f.Close()
-		arch, err := calib.ReadJSON(f)
+		arch, quarantined, err := calib.ReadJSONLenient(f)
 		if err != nil {
 			return err
 		}
-		d, err = device.New(arch.Topo, arch.Mean())
+		for _, q := range quarantined {
+			fmt.Fprintln(os.Stderr, "nisqc: quarantined", q)
+		}
+		mean, err := arch.Mean()
+		if err != nil {
+			return err
+		}
+		d, err = device.New(arch.Topo, mean)
 		if err != nil {
 			return err
 		}
@@ -84,10 +91,10 @@ func run(workload, qasmPath, policyName, deviceName, calibPath string, seed int6
 	switch deviceName {
 	case "q20":
 		arch := calib.Generate(calib.DefaultQ20Config(seed))
-		d = device.MustNew(arch.Topo, arch.Mean())
+		d = device.MustNew(arch.Topo, arch.MustMean())
 	case "q16":
 		arch := calib.Generate(calib.DefaultQ16Config(seed))
-		d = device.MustNew(arch.Topo, arch.Mean())
+		d = device.MustNew(arch.Topo, arch.MustMean())
 	case "q5":
 		s := calib.TenerifeSnapshot()
 		d = device.MustNew(s.Topo, s)

@@ -4,43 +4,96 @@
 // characterization archive, and -format csv/json for machine-readable
 // output.
 //
+// The harness is fault-isolated, cancellable, and resumable: each
+// experiment is decomposed into units (one workload row, one day, one
+// configuration), a failing or panicking unit is quarantined into a
+// failure report while its siblings keep running, SIGINT/SIGTERM or
+// -timeout stop the run cleanly after the in-flight units finish, and
+// -checkpoint/-resume persist completed units so an interrupted sweep
+// picks up where it left off with bit-identical results.
+//
 // Usage:
 //
 //	repro [-experiment all|fig5|fig6|fig7|fig8|fig9|table1|fig12|fig13|fig14|table2|table3|fig16]
 //	      [-seed N] [-trials N] [-full] [-workers N] [-format text|csv|json]
+//	      [-checkpoint dir] [-resume] [-timeout 10m] [-calib archive.json]
 //	      [-cpuprofile f.pprof] [-memprofile f.pprof]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
+	"syscall"
 
+	"vaq/internal/calib"
+	"vaq/internal/checkpoint"
 	"vaq/internal/experiments"
+	"vaq/internal/parallel"
 	"vaq/internal/report"
 )
 
 func main() {
 	var (
-		which   = flag.String("experiment", "all", "experiment to run (all, fig5..fig16, table1..table3)")
-		seed    = flag.Int64("seed", 2019, "seed for the synthetic characterization archive")
-		trials  = flag.Int("trials", 200000, "Monte-Carlo trials per PST estimate")
-		full    = flag.Bool("full", false, "use the paper's budgets (1M trials, 32 native configs)")
-		workers = flag.Int("workers", 0, "worker goroutines for experiment fan-out and trial sharding (0: one per CPU, <0: serial); results are identical at any setting")
-		format  = flag.String("format", "text", "output format: text (tables+charts), csv, json")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		which    = flag.String("experiment", "all", "experiment to run (all, fig5..fig16, table1..table3)")
+		seed     = flag.Int64("seed", 2019, "seed for the synthetic characterization archive")
+		trials   = flag.Int("trials", 200000, "Monte-Carlo trials per PST estimate")
+		full     = flag.Bool("full", false, "use the paper's budgets (1M trials, 32 native configs); an explicit -trials wins")
+		workers  = flag.Int("workers", 0, "worker goroutines for experiment fan-out and trial sharding (0: one per CPU, <0: serial); results are identical at any setting")
+		format   = flag.String("format", "text", "output format: text (tables+charts), csv, json")
+		ckDir    = flag.String("checkpoint", "", "directory for per-unit result checkpoints (written atomically)")
+		resume   = flag.Bool("resume", false, "serve completed units from the -checkpoint directory instead of recomputing them")
+		timeout  = flag.Duration("timeout", 0, "cancel the run after this duration (0: no limit); completed units are kept")
+		calibP   = flag.String("calib", "", "replace the synthetic archive with a calgen-style JSON archive (invalid cycles are quarantined)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
 	cfg := experiments.Config{Seed: *seed, Trials: *trials, Workers: *workers}
-	if *full {
-		cfg.Trials = 1000000
-		cfg.NativeConfigs = 32
-		cfg.NativeTrials = 10000
-		cfg.Q5Trials = 4096
+	cfg = applyFullBudget(cfg, *full, explicit)
+
+	if *resume && *ckDir == "" {
+		fmt.Fprintln(os.Stderr, "repro: -resume requires -checkpoint")
+		os.Exit(2)
+	}
+	var store *checkpoint.Store
+	if *ckDir != "" {
+		var err error
+		store, err = checkpoint.Open(*ckDir, *resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+	}
+	if *calibP != "" {
+		arch, err := loadCalibArchive(*calibP, os.Stderr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+		cfg.Archive = arch
+	}
+
+	// SIGINT/SIGTERM cancel the context: in-flight units finish, their
+	// results are checkpointed, the surviving tables and the failure
+	// report are printed, and the exit status is non-zero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	var cpuFile *os.File
@@ -57,14 +110,14 @@ func main() {
 		cpuFile = f
 	}
 
-	err := runFormat(*which, cfg, *format)
+	runner := experiments.NewRunner(ctx, cfg, store)
+	err := runList(os.Stdout, runner, experimentList(), *which, *format)
 
 	// Flush profiles before any error exit (os.Exit skips defers).
 	if cpuFile != nil {
 		pprof.StopCPUProfile()
 		cpuFile.Close()
 	}
-
 	if *memProf != "" {
 		f, mErr := os.Create(*memProf)
 		if mErr != nil {
@@ -79,14 +132,76 @@ func main() {
 		f.Close()
 	}
 
+	if store != nil {
+		hits, misses, puts, corrupt := store.Stats()
+		fmt.Fprintf(os.Stderr, "repro: checkpoint: %d served, %d missed, %d written, %d corrupt\n",
+			hits, misses, puts, corrupt)
+	}
+	code := 0
+	if rep := runner.Report(); !rep.Empty() {
+		fmt.Fprint(os.Stderr, rep.String())
+		code = 1
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		fmt.Fprintf(os.Stderr, "repro: run cut short (%v); completed units above, rerun with -resume to continue\n", cerr)
+		code = 1
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "repro:", err)
-		os.Exit(1)
+		code = 1
 	}
+	os.Exit(code)
+}
+
+// applyFullBudget upgrades cfg to the paper's budgets without stomping
+// flags the user set explicitly: -full used to silently overwrite an
+// explicit -trials, so `repro -full -trials 50000` ran 1M trials.
+func applyFullBudget(cfg experiments.Config, full bool, explicit map[string]bool) experiments.Config {
+	if !full {
+		return cfg
+	}
+	if !explicit["trials"] {
+		cfg.Trials = 1000000
+	}
+	cfg.NativeConfigs = 32
+	cfg.NativeTrials = 10000
+	cfg.Q5Trials = 4096
+	return cfg
+}
+
+// loadCalibArchive reads a calgen-style JSON archive leniently: invalid
+// cycles are quarantined (reported to w) instead of failing the run, and
+// the surviving archive drives every IBM-Q20 experiment.
+func loadCalibArchive(path string, w io.Writer) (*calib.Archive, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	arch, quarantined, err := calib.ReadJSONLenient(f)
+	if err != nil {
+		return nil, err
+	}
+	for _, q := range quarantined {
+		fmt.Fprintf(w, "repro: calib: quarantined %v\n", q)
+	}
+	return arch, nil
 }
 
 // run keeps the text-mode entry point used by tests.
-func run(which string, cfg experiments.Config) error { return runFormat(which, cfg, "text") }
+func run(which string, cfg experiments.Config) error {
+	return runFormat(which, cfg, "text")
+}
+
+// runFormat keeps the pre-harness entry point: background context, no
+// checkpointing, quarantined units surfaced as an error.
+func runFormat(which string, cfg experiments.Config, format string) error {
+	runner := experiments.NewRunner(context.Background(), cfg, nil)
+	if err := runList(os.Stdout, runner, experimentList(), which, format); err != nil {
+		return err
+	}
+	return runner.Report().Err()
+}
 
 // rendering is one experiment's output: the paper-style table plus an
 // optional ASCII chart for text mode.
@@ -95,171 +210,172 @@ type rendering struct {
 	chart string
 }
 
-func runFormat(which string, cfg experiments.Config, format string) error {
-	switch format {
-	case "text", "csv", "json":
-	default:
-		return fmt.Errorf("unknown format %q (want text, csv or json)", format)
-	}
+// experiment is one runnable entry of the suite. fn returns whatever
+// rows survived quarantine; err is reserved for truncation
+// (context cancellation) and hard failures that produced no table.
+type experiment struct {
+	name string
+	fn   func(*experiments.Runner) (rendering, error)
+}
 
-	type experiment struct {
-		name string
-		fn   func(experiments.Config) (rendering, error)
-	}
-	all := []experiment{
-		{"fig5", func(c experiments.Config) (rendering, error) {
-			return rendering{table: experiments.Fig5CoherenceDistributions(c).Table()}, nil
+func experimentList() []experiment {
+	return []experiment{
+		{"fig5", func(r *experiments.Runner) (rendering, error) {
+			return rendering{table: experiments.Fig5CoherenceDistributions(r.Config()).Table()}, nil
 		}},
-		{"fig6", func(c experiments.Config) (rendering, error) {
-			return rendering{table: experiments.Fig6SingleQubitErrors(c).Table()}, nil
+		{"fig6", func(r *experiments.Runner) (rendering, error) {
+			return rendering{table: experiments.Fig6SingleQubitErrors(r.Config()).Table()}, nil
 		}},
-		{"fig7", func(c experiments.Config) (rendering, error) {
-			return rendering{table: experiments.Fig7TwoQubitErrors(c).Table()}, nil
+		{"fig7", func(r *experiments.Runner) (rendering, error) {
+			return rendering{table: experiments.Fig7TwoQubitErrors(r.Config()).Table()}, nil
 		}},
-		{"fig8", func(c experiments.Config) (rendering, error) {
-			r := experiments.Fig8TemporalVariation(c)
+		{"fig8", func(r *experiments.Runner) (rendering, error) {
+			res := experiments.Fig8TemporalVariation(r.Config())
 			chart := ""
-			for _, l := range r.Links {
+			for _, l := range res.Links {
 				chart += fmt.Sprintf("%-8s %s\n", l.Name, report.Sparkline(l.Series))
 			}
-			return rendering{table: r.Table(), chart: chart}, nil
+			return rendering{table: res.Table(), chart: chart}, nil
 		}},
-		{"fig9", func(c experiments.Config) (rendering, error) {
-			r := experiments.Fig9SpatialVariation(c)
-			return rendering{table: r.Table(), chart: r.Layout()}, nil
+		{"fig9", func(r *experiments.Runner) (rendering, error) {
+			res := experiments.Fig9SpatialVariation(r.Config())
+			return rendering{table: res.Table(), chart: res.Layout()}, nil
 		}},
-		{"table1", func(c experiments.Config) (rendering, error) {
-			rows, err := experiments.Table1Benchmarks(c)
-			if err != nil {
-				return rendering{}, err
-			}
-			return rendering{table: experiments.Table1Table(rows)}, nil
+		{"table1", func(r *experiments.Runner) (rendering, error) {
+			rows, err := experiments.Table1BenchmarksCtx(r)
+			return rendering{table: experiments.Table1Table(rows)}, err
 		}},
-		{"fig12", func(c experiments.Config) (rendering, error) {
-			rows, err := experiments.Fig12VQM(c)
-			if err != nil {
-				return rendering{}, err
-			}
+		{"fig12", func(r *experiments.Runner) (rendering, error) {
+			rows, err := experiments.Fig12VQMCtx(r)
 			labels := make([]string, len(rows))
 			vals := make([]float64, len(rows))
-			for i, r := range rows {
-				labels[i], vals[i] = r.Name, r.RelVQM
+			for i, row := range rows {
+				labels[i], vals[i] = row.Name, row.RelVQM
 			}
 			chart := report.Bars("relative PST, VQM vs baseline (| = 1.0x)", labels, vals, 50, 1)
-			return rendering{table: experiments.Fig12Table(rows), chart: chart}, nil
+			return rendering{table: experiments.Fig12Table(rows), chart: chart}, err
 		}},
-		{"fig13", func(c experiments.Config) (rendering, error) {
-			rows, err := experiments.Fig13Policies(c)
-			if err != nil {
-				return rendering{}, err
-			}
+		{"fig13", func(r *experiments.Runner) (rendering, error) {
+			rows, err := experiments.Fig13PoliciesCtx(r)
 			labels := make([]string, len(rows))
 			vals := make([]float64, len(rows))
-			for i, r := range rows {
-				labels[i], vals[i] = r.Name, r.RelVQAVQM
+			for i, row := range rows {
+				labels[i], vals[i] = row.Name, row.RelVQAVQM
 			}
 			chart := report.Bars("relative PST, VQA+VQM vs baseline (| = 1.0x)", labels, vals, 50, 1)
-			return rendering{table: experiments.Fig13Table(rows), chart: chart}, nil
+			return rendering{table: experiments.Fig13Table(rows), chart: chart}, err
 		}},
-		{"fig14", func(c experiments.Config) (rendering, error) {
-			res, err := experiments.Fig14PerDay(c)
-			if err != nil {
-				return rendering{}, err
-			}
+		{"fig14", func(r *experiments.Runner) (rendering, error) {
+			res, err := experiments.Fig14PerDayCtx(r)
 			series := make([]float64, len(res.Points))
 			for i, p := range res.Points {
 				series[i] = p.Relative
 			}
 			chart := "per-day relative PST (day 1 → 52): " + report.Sparkline(series) + "\n"
-			return rendering{table: experiments.Fig14Table(res), chart: chart}, nil
+			return rendering{table: experiments.Fig14Table(res), chart: chart}, err
 		}},
-		{"table2", func(c experiments.Config) (rendering, error) {
-			rows, err := experiments.Table2ErrorScaling(c)
-			if err != nil {
-				return rendering{}, err
-			}
-			return rendering{table: experiments.Table2Table(rows)}, nil
+		{"table2", func(r *experiments.Runner) (rendering, error) {
+			rows, err := experiments.Table2ErrorScalingCtx(r)
+			return rendering{table: experiments.Table2Table(rows)}, err
 		}},
-		{"table3", func(c experiments.Config) (rendering, error) {
-			res, err := experiments.Table3IBMQ5(c)
-			if err != nil {
-				return rendering{}, err
-			}
-			return rendering{table: experiments.Table3Table(res)}, nil
+		{"table3", func(r *experiments.Runner) (rendering, error) {
+			res, err := experiments.Table3IBMQ5Ctx(r)
+			return rendering{table: experiments.Table3Table(res)}, err
 		}},
-		{"fig16", func(c experiments.Config) (rendering, error) {
-			rows, err := experiments.Fig16Partitioning(c)
-			if err != nil {
-				return rendering{}, err
-			}
+		{"fig16", func(r *experiments.Runner) (rendering, error) {
+			rows, err := experiments.Fig16PartitioningCtx(r)
 			labels := make([]string, len(rows))
 			vals := make([]float64, len(rows))
-			for i, r := range rows {
-				labels[i], vals[i] = r.Name, r.OneStrongNorm
+			for i, row := range rows {
+				labels[i], vals[i] = row.Name, row.OneStrongNorm
 			}
 			chart := report.Bars("one-strong-copy STPT, normalized to two copies (| = parity)", labels, vals, 50, 1)
-			return rendering{table: experiments.Fig16Table(rows), chart: chart}, nil
+			return rendering{table: experiments.Fig16Table(rows), chart: chart}, err
 		}},
-		{"ext-mah", func(c experiments.Config) (rendering, error) {
-			rows, err := experiments.ExtMAHSweep(c)
+		{"ext-mah", func(r *experiments.Runner) (rendering, error) {
+			rows, err := experiments.ExtMAHSweep(r.Config())
 			if err != nil {
 				return rendering{}, err
 			}
 			return rendering{table: experiments.ExtMAHTable(rows)}, nil
 		}},
-		{"ext-readout", func(c experiments.Config) (rendering, error) {
-			rows, err := experiments.ExtReadoutAware(c)
+		{"ext-readout", func(r *experiments.Runner) (rendering, error) {
+			rows, err := experiments.ExtReadoutAware(r.Config())
 			if err != nil {
 				return rendering{}, err
 			}
 			return rendering{table: experiments.ExtReadoutTable(rows)}, nil
 		}},
-		{"ext-optimizer", func(c experiments.Config) (rendering, error) {
-			rows, err := experiments.ExtOptimizer(c)
+		{"ext-optimizer", func(r *experiments.Runner) (rendering, error) {
+			rows, err := experiments.ExtOptimizer(r.Config())
 			if err != nil {
 				return rendering{}, err
 			}
 			return rendering{table: experiments.ExtOptimizerTable(rows)}, nil
 		}},
-		{"ext-topology", func(c experiments.Config) (rendering, error) {
-			rows, err := experiments.ExtTopology(c)
+		{"ext-topology", func(r *experiments.Runner) (rendering, error) {
+			rows, err := experiments.ExtTopology(r.Config())
 			if err != nil {
 				return rendering{}, err
 			}
 			return rendering{table: experiments.ExtTopologyTable(rows)}, nil
 		}},
-		{"ext-qv", func(c experiments.Config) (rendering, error) {
-			res, err := experiments.ExtQuantumVolume(c)
+		{"ext-qv", func(r *experiments.Runner) (rendering, error) {
+			res, err := experiments.ExtQuantumVolume(r.Config())
 			if err != nil {
 				return rendering{}, err
 			}
 			return rendering{table: experiments.ExtQVTable(res)}, nil
 		}},
 	}
+}
 
+// runList runs the selected experiments in order, writing every
+// renderable table to w. An experiment that fails or panics whole
+// (outside the unit layer) is quarantined into the runner's report and
+// the remaining experiments still run — `-experiment all` always emits
+// every computable result. Only unknown experiment/format selections and
+// write errors are returned.
+func runList(w io.Writer, runner *experiments.Runner, list []experiment, which, format string) error {
+	switch format {
+	case "text", "csv", "json":
+	default:
+		return fmt.Errorf("unknown format %q (want text, csv or json)", format)
+	}
 	ran := false
-	for _, e := range all {
+	for _, e := range list {
 		if which != "all" && which != e.name {
 			continue
 		}
 		ran = true
-		r, err := e.fn(cfg)
-		if err != nil {
-			return fmt.Errorf("%s: %w", e.name, err)
+		if runner.Context().Err() != nil && which == "all" {
+			// Cancelled: stop starting experiments; already-rendered
+			// tables stand.
+			continue
+		}
+		rend, err := runExperiment(runner, e)
+		if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			runner.Quarantine(experiments.UnitKey{Experiment: e.name, Day: -1}, err)
+			continue
+		}
+		// Truncated-but-partial tables still print: a cancelled sweep
+		// shows every unit that completed.
+		if len(rend.table.Rows) == 0 && err != nil {
+			continue
 		}
 		switch format {
 		case "text":
-			fmt.Println(r.table.String())
-			if r.chart != "" {
-				fmt.Println(r.chart)
+			fmt.Fprintln(w, rend.table.String())
+			if rend.chart != "" {
+				fmt.Fprintln(w, rend.chart)
 			}
 		case "csv":
-			if err := report.WriteCSV(os.Stdout, r.table.Header, r.table.Rows); err != nil {
-				return err
+			if werr := report.WriteCSV(w, rend.table.Header, rend.table.Rows); werr != nil {
+				return werr
 			}
 		case "json":
-			if err := report.WriteJSON(os.Stdout, r.table); err != nil {
-				return err
+			if werr := report.WriteJSON(w, rend.table); werr != nil {
+				return werr
 			}
 		}
 	}
@@ -267,4 +383,16 @@ func runFormat(which string, cfg experiments.Config, format string) error {
 		return fmt.Errorf("unknown experiment %q", which)
 	}
 	return nil
+}
+
+// runExperiment shields one experiment: a panic that escapes the unit
+// layer (archive construction, table rendering) is captured with its
+// stack instead of killing the whole run.
+func runExperiment(runner *experiments.Runner, e experiment) (rend rendering, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = &parallel.PanicError{Value: rec, Stack: debug.Stack()}
+		}
+	}()
+	return e.fn(runner)
 }

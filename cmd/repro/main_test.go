@@ -1,8 +1,13 @@
 package main
 
 import (
+	"bytes"
+	"context"
+	"strings"
+	"sync/atomic"
 	"testing"
 
+	"vaq/internal/checkpoint"
 	"vaq/internal/experiments"
 )
 
@@ -40,4 +45,153 @@ func TestRunFormats(t *testing.T) {
 	if err := runFormat("fig9", fastCfg(), "yaml"); err == nil {
 		t.Error("unknown format accepted")
 	}
+}
+
+func TestApplyFullBudgetRespectsExplicitTrials(t *testing.T) {
+	base := experiments.Config{Seed: 1, Trials: 50000}
+	got := applyFullBudget(base, true, map[string]bool{"trials": true})
+	if got.Trials != 50000 {
+		t.Fatalf("-full stomped an explicit -trials: %d", got.Trials)
+	}
+	if got.NativeConfigs != 32 || got.NativeTrials != 10000 || got.Q5Trials != 4096 {
+		t.Fatalf("-full did not apply the paper budgets: %+v", got)
+	}
+	got = applyFullBudget(base, true, map[string]bool{})
+	if got.Trials != 1000000 {
+		t.Fatalf("-full without explicit -trials = %d trials, want 1M", got.Trials)
+	}
+	got = applyFullBudget(base, false, map[string]bool{})
+	if got != base {
+		t.Fatalf("config changed without -full: %+v", got)
+	}
+}
+
+// TestInjectedPanicIsolation is the fault-isolation acceptance check: a
+// unit that panics mid-suite must not take down the other experiments —
+// their tables still render, and the failure report names the failed
+// unit with its stack.
+func TestInjectedPanicIsolation(t *testing.T) {
+	list := []experiment{
+		experimentByName(t, "table1"),
+		{"boom", func(r *experiments.Runner) (rendering, error) {
+			_, _ = experiments.RunUnit(r, experiments.UnitKey{Experiment: "boom", Workload: "w", Day: -1},
+				func() (int, error) { panic("injected unit failure") })
+			return rendering{}, nil
+		}},
+		experimentByName(t, "table3"),
+	}
+	var buf bytes.Buffer
+	runner := experiments.NewRunner(context.Background(), fastCfg(), nil)
+	if err := runList(&buf, runner, list, "all", "text"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Table 1: benchmark characteristics") {
+		t.Error("table1 output missing")
+	}
+	if !strings.Contains(out, "Table 3: PST on the IBM-Q5 model") {
+		t.Error("table3 (after the panicking experiment) output missing")
+	}
+	rep := runner.Report()
+	if rep.Empty() {
+		t.Fatal("panicking unit not quarantined")
+	}
+	text := rep.String()
+	if !strings.Contains(text, "boom/w") || !strings.Contains(text, "injected unit failure") {
+		t.Fatalf("report does not name the failed unit:\n%s", text)
+	}
+	if !strings.Contains(text, "main_test.go") {
+		t.Fatalf("report does not carry the panic stack:\n%s", text)
+	}
+}
+
+// TestExperimentLevelPanicIsolation covers panics that escape the unit
+// layer entirely (e.g. archive construction).
+func TestExperimentLevelPanicIsolation(t *testing.T) {
+	list := []experiment{
+		{"explode", func(r *experiments.Runner) (rendering, error) { panic("whole experiment down") }},
+		experimentByName(t, "table1"),
+	}
+	var buf bytes.Buffer
+	runner := experiments.NewRunner(context.Background(), fastCfg(), nil)
+	if err := runList(&buf, runner, list, "all", "text"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table 1") {
+		t.Error("experiment after the panicking one did not run")
+	}
+	rep := runner.Report()
+	if rep.Empty() || !strings.Contains(rep.String(), "explode") {
+		t.Fatalf("experiment-level panic not quarantined: %s", rep.String())
+	}
+}
+
+// TestKillResumeEquivalence is the resumable-harness acceptance check:
+// a fig13 run interrupted mid-flight and resumed from its checkpoint
+// produces a byte-identical table to an uninterrupted run.
+func TestKillResumeEquivalence(t *testing.T) {
+	cfg := fastCfg()
+	fig13 := []experiment{experimentByName(t, "fig13")}
+
+	// Reference: uninterrupted, no checkpoint.
+	var want bytes.Buffer
+	if err := runList(&want, experiments.NewRunner(context.Background(), cfg, nil), fig13, "fig13", "text"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: cancel (the SIGINT path minus the signal) after two
+	// completed units; completed work lands in the checkpoint directory.
+	dir := t.TempDir()
+	store, err := checkpoint.Open(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	interrupted := experiments.NewRunner(ctx, cfg, store)
+	var done atomic.Int64
+	interrupted.OnUnitDone = func(experiments.UnitKey) {
+		if done.Add(1) == 2 {
+			cancel()
+		}
+	}
+	var partial bytes.Buffer
+	if err := runList(&partial, interrupted, fig13, "fig13", "text"); err != nil {
+		t.Fatal(err)
+	}
+	if !interrupted.Report().Empty() {
+		t.Fatalf("interruption quarantined units: %v", interrupted.Report().Err())
+	}
+	_, _, puts, _ := store.Stats()
+	if puts < 2 {
+		t.Fatalf("only %d units checkpointed before the kill", puts)
+	}
+
+	// Resumed run: fresh context, same config, -resume semantics.
+	resumed, err := checkpoint.Open(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := runList(&got, experiments.NewRunner(context.Background(), cfg, resumed), fig13, "fig13", "text"); err != nil {
+		t.Fatal(err)
+	}
+	hits, _, _, _ := resumed.Stats()
+	if hits < 2 {
+		t.Fatalf("resume served only %d units from the checkpoint", hits)
+	}
+	if got.String() != want.String() {
+		t.Fatalf("resumed table differs from uninterrupted run:\n-- want --\n%s\n-- got --\n%s", want.String(), got.String())
+	}
+}
+
+func experimentByName(t *testing.T, name string) experiment {
+	t.Helper()
+	for _, e := range experimentList() {
+		if e.name == name {
+			return e
+		}
+	}
+	t.Fatalf("experiment %q not in list", name)
+	return experiment{}
 }

@@ -22,7 +22,7 @@ func main() {
 		prog.Name, prog.NumQubits, prog.Stats().Total)
 
 	arch := calib.Generate(calib.DefaultQ20Config(2019))
-	dev := device.MustNew(arch.Topo, arch.Mean())
+	dev := device.MustNew(arch.Topo, arch.MustMean())
 
 	fmt.Printf("%-10s %6s %6s %9s %9s %9s %8s\n",
 		"policy", "swaps", "depth", "gate-haz", "read-haz", "coh-haz", "PST")

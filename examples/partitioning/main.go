@@ -20,7 +20,7 @@ import (
 
 func main() {
 	arch := calib.Generate(calib.DefaultQ20Config(2019))
-	dev := device.MustNew(arch.Topo, arch.Mean())
+	dev := device.MustNew(arch.Topo, arch.MustMean())
 
 	opts := partition.Options{
 		Compile:    core.Options{Policy: core.VQAVQM},

@@ -27,9 +27,9 @@ func main() {
 	// 2. A 20-qubit IBM-Q20 model: synthetic 52-day characterization
 	//    archive, averaged into one calibration snapshot.
 	arch := calib.Generate(calib.DefaultQ20Config(2019))
-	dev := device.MustNew(arch.Topo, arch.Mean())
-	strongest, sErr := arch.Mean().StrongestLink()
-	weakest, wErr := arch.Mean().WeakestLink()
+	dev := device.MustNew(arch.Topo, arch.MustMean())
+	strongest, sErr := arch.MustMean().StrongestLink()
+	weakest, wErr := arch.MustMean().WeakestLink()
 	fmt.Printf("machine %s: best link Q%d-Q%d (%.3f error), worst Q%d-Q%d (%.3f error), %.1fx spread\n\n",
 		dev.Topology().Name, strongest.A, strongest.B, sErr, weakest.A, weakest.B, wErr, wErr/sErr)
 

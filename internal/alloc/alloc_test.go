@@ -162,7 +162,7 @@ func TestVQAPicksStrongestLinkForBellPair(t *testing.T) {
 	if !d.Topology().Adjacent(m[0], m[1]) {
 		t.Fatalf("bell pair not adjacent: %v", m)
 	}
-	e := d.Snapshot().TwoQubitError(m[0], m[1])
+	e := d.Snapshot().MustTwoQubitError(m[0], m[1])
 	if e > 0.05 {
 		t.Fatalf("VQA placed bell pair on link with error %v (mapping %v), want a strong link", e, m)
 	}
@@ -194,7 +194,7 @@ func TestVQAAvoidsWeakRegionOnQ20(t *testing.T) {
 	if !d.Topology().Adjacent(m[0], m[1]) {
 		t.Fatalf("hot pair not adjacent: %v", m)
 	}
-	if e := d.Snapshot().TwoQubitError(m[0], m[1]); e > 0.05 {
+	if e := d.Snapshot().MustTwoQubitError(m[0], m[1]); e > 0.05 {
 		t.Fatalf("hot pair on weak link (error %v), mapping %v", e, m)
 	}
 }

@@ -12,11 +12,38 @@
 package calib
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"vaq/internal/topo"
 )
+
+// ErrEmptyArchive is returned by Archive methods that need at least one
+// snapshot (e.g. Mean) when the archive holds none.
+var ErrEmptyArchive = errors.New("calib: empty archive")
+
+// NoCouplingError reports a per-link figure queried or set for a qubit
+// pair the topology does not couple.
+type NoCouplingError struct {
+	A, B int
+	Topo string
+}
+
+func (e *NoCouplingError) Error() string {
+	return fmt.Sprintf("calib: no coupling %d-%d on %s", e.A, e.B, e.Topo)
+}
+
+// QubitRangeError reports a per-qubit figure queried for a qubit index
+// outside the topology.
+type QubitRangeError struct {
+	Qubit int
+	Topo  string
+}
+
+func (e *QubitRangeError) Error() string {
+	return fmt.Sprintf("calib: qubit %d out of range on %s", e.Qubit, e.Topo)
+}
 
 // Snapshot is the characterization report of one calibration cycle.
 type Snapshot struct {
@@ -53,30 +80,63 @@ func NewSnapshot(t *topo.Topology) *Snapshot {
 	return s
 }
 
-// TwoQubitError returns the CNOT error rate across the a–b coupling.
-// It panics if a and b are not coupled: policies must never ask for the
-// error rate of a non-existent link.
-func (s *Snapshot) TwoQubitError(a, b int) float64 {
+// TwoQubitError returns the CNOT error rate across the a–b coupling, or
+// a *NoCouplingError when a and b are not coupled. Querying a
+// non-existent link is a boundary condition (bad external data, a policy
+// bug), not a crash: callers that hold the structural invariant can use
+// MustTwoQubitError.
+func (s *Snapshot) TwoQubitError(a, b int) (float64, error) {
 	if a > b {
 		a, b = b, a
 	}
 	e, ok := s.TwoQubit[topo.Coupling{A: a, B: b}]
 	if !ok {
-		panic(fmt.Sprintf("calib: no coupling %d-%d on %s", a, b, s.Topo.Name))
+		return 0, &NoCouplingError{A: a, B: b, Topo: s.Topo.Name}
+	}
+	return e, nil
+}
+
+// MustTwoQubitError is TwoQubitError for callers whose coupling is
+// guaranteed by construction (e.g. iterating Topo.Couplings); it panics
+// on a missing link.
+func (s *Snapshot) MustTwoQubitError(a, b int) float64 {
+	e, err := s.TwoQubitError(a, b)
+	if err != nil {
+		panic(err)
 	}
 	return e
 }
 
-// SetTwoQubitError sets the CNOT error rate across the a–b coupling.
-func (s *Snapshot) SetTwoQubitError(a, b int, e float64) {
+// OneQubitError returns the single-qubit gate error rate of physical
+// qubit q, bounds-checked.
+func (s *Snapshot) OneQubitError(q int) (float64, error) {
+	if q < 0 || q >= len(s.OneQubit) {
+		return 0, &QubitRangeError{Qubit: q, Topo: s.Topo.Name}
+	}
+	return s.OneQubit[q], nil
+}
+
+// ReadoutError returns the measurement error rate of physical qubit q,
+// bounds-checked.
+func (s *Snapshot) ReadoutError(q int) (float64, error) {
+	if q < 0 || q >= len(s.Readout) {
+		return 0, &QubitRangeError{Qubit: q, Topo: s.Topo.Name}
+	}
+	return s.Readout[q], nil
+}
+
+// SetTwoQubitError sets the CNOT error rate across the a–b coupling,
+// returning a *NoCouplingError when the pair is not coupled.
+func (s *Snapshot) SetTwoQubitError(a, b int, e float64) error {
 	if a > b {
 		a, b = b, a
 	}
 	c := topo.Coupling{A: a, B: b}
 	if _, ok := s.TwoQubit[c]; !ok {
-		panic(fmt.Sprintf("calib: no coupling %d-%d on %s", a, b, s.Topo.Name))
+		return &NoCouplingError{A: a, B: b, Topo: s.Topo.Name}
 	}
 	s.TwoQubit[c] = e
+	return nil
 }
 
 // Validate checks that every rate is a probability and every coherence
@@ -199,10 +259,11 @@ type Archive struct {
 // Mean returns a snapshot whose every figure is the arithmetic mean across
 // the archive — the "average behavior of the link/qubit based on
 // characterization data across 52 days" the paper uses for its main
-// evaluations.
-func (a *Archive) Mean() *Snapshot {
+// evaluations. An empty archive yields ErrEmptyArchive (external
+// archives can legitimately arrive with every cycle quarantined).
+func (a *Archive) Mean() (*Snapshot, error) {
 	if len(a.Snapshots) == 0 {
-		panic("calib: Mean of empty archive")
+		return nil, ErrEmptyArchive
 	}
 	m := NewSnapshot(a.Topo)
 	n := float64(len(a.Snapshots))
@@ -217,7 +278,59 @@ func (a *Archive) Mean() *Snapshot {
 			m.T2Us[q] += s.T2Us[q] / n
 		}
 	}
+	return m, nil
+}
+
+// MustMean is Mean for archives known to be non-empty (generated ones
+// always are); it panics on ErrEmptyArchive.
+func (a *Archive) MustMean() *Snapshot {
+	m, err := a.Mean()
+	if err != nil {
+		panic(err)
+	}
 	return m
+}
+
+// Validate checks the archive as a whole: a topology must be present,
+// at least one snapshot must exist, every snapshot must validate against
+// that topology (probability ranges, NaNs, length mismatches — see
+// Snapshot.Validate), cycle indices must be unique, and days must be
+// non-negative. It is the gate external archives pass before any policy
+// consumes them.
+func (a *Archive) Validate() error {
+	if a.Topo == nil {
+		return fmt.Errorf("calib: archive without topology")
+	}
+	if len(a.Snapshots) == 0 {
+		return ErrEmptyArchive
+	}
+	seen := make(map[int]bool, len(a.Snapshots))
+	for i, s := range a.Snapshots {
+		if s == nil {
+			return fmt.Errorf("calib: snapshot %d is empty", i)
+		}
+		if err := a.validateSnapshot(s); err != nil {
+			return fmt.Errorf("calib: snapshot %d: %w", i, err)
+		}
+		if seen[s.Cycle] {
+			return fmt.Errorf("calib: duplicate cycle %d (snapshot %d)", s.Cycle, i)
+		}
+		seen[s.Cycle] = true
+	}
+	return nil
+}
+
+// validateSnapshot checks one snapshot in the context of the archive:
+// it must be on the archive's topology, within range, and on a
+// non-negative day.
+func (a *Archive) validateSnapshot(s *Snapshot) error {
+	if s.Topo != a.Topo {
+		return fmt.Errorf("snapshot on topology %q, archive on %q", s.Topo.Name, a.Topo.Name)
+	}
+	if s.Day < 0 {
+		return fmt.Errorf("negative day %d", s.Day)
+	}
+	return s.Validate()
 }
 
 // Days returns the number of distinct measurement days in the archive.
@@ -247,7 +360,7 @@ func (a *Archive) DaySnapshots(day int) []*Snapshot {
 func (a *Archive) LinkSeries(qa, qb int) []float64 {
 	out := make([]float64, 0, len(a.Snapshots))
 	for _, s := range a.Snapshots {
-		out = append(out, s.TwoQubitError(qa, qb))
+		out = append(out, s.MustTwoQubitError(qa, qb))
 	}
 	return out
 }

@@ -1,6 +1,7 @@
 package calib
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -24,32 +25,59 @@ func snap5() *Snapshot {
 func TestSnapshotAccessors(t *testing.T) {
 	s := snap5()
 	s.SetTwoQubitError(2, 0, 0.11)
-	if got := s.TwoQubitError(0, 2); got != 0.11 {
+	if got := s.MustTwoQubitError(0, 2); got != 0.11 {
 		t.Fatalf("TwoQubitError(0,2) = %v, want 0.11", got)
 	}
-	if got := s.TwoQubitError(2, 0); got != 0.11 {
+	if got := s.MustTwoQubitError(2, 0); got != 0.11 {
 		t.Fatal("order-insensitive lookup failed")
 	}
 }
 
-func TestSnapshotMissingLinkPanics(t *testing.T) {
+func TestSnapshotMissingLinkError(t *testing.T) {
 	s := snap5()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("lookup of non-coupling did not panic")
-		}
-	}()
-	s.TwoQubitError(0, 3) // not coupled on Tenerife
+	_, err := s.TwoQubitError(0, 3) // not coupled on Tenerife
+	var nce *NoCouplingError
+	if !errors.As(err, &nce) || nce.A != 0 || nce.B != 3 {
+		t.Fatalf("TwoQubitError(0,3) err = %v, want *NoCouplingError{0,3}", err)
+	}
 }
 
-func TestSetMissingLinkPanics(t *testing.T) {
+func TestMustTwoQubitErrorMissingLinkPanics(t *testing.T) {
 	s := snap5()
 	defer func() {
 		if recover() == nil {
-			t.Fatal("set of non-coupling did not panic")
+			t.Fatal("Must lookup of non-coupling did not panic")
 		}
 	}()
-	s.SetTwoQubitError(0, 3, 0.1)
+	s.MustTwoQubitError(0, 3)
+}
+
+func TestSetMissingLinkError(t *testing.T) {
+	s := snap5()
+	var nce *NoCouplingError
+	if err := s.SetTwoQubitError(0, 3, 0.1); !errors.As(err, &nce) {
+		t.Fatalf("SetTwoQubitError(0,3) err = %v, want *NoCouplingError", err)
+	}
+	if err := s.SetTwoQubitError(1, 0, 0.2); err != nil {
+		t.Fatalf("set of existing coupling failed: %v", err)
+	}
+}
+
+func TestPerQubitAccessorsBoundsChecked(t *testing.T) {
+	s := snap5()
+	if e, err := s.OneQubitError(0); err != nil || e != 0.002 {
+		t.Fatalf("OneQubitError(0) = %v, %v", e, err)
+	}
+	if e, err := s.ReadoutError(4); err != nil || e != 0.03 {
+		t.Fatalf("ReadoutError(4) = %v, %v", e, err)
+	}
+	var qre *QubitRangeError
+	if _, err := s.OneQubitError(5); !errors.As(err, &qre) {
+		t.Fatalf("OneQubitError(5) err = %v, want *QubitRangeError", err)
+	}
+	if _, err := s.ReadoutError(-1); !errors.As(err, &qre) {
+		t.Fatalf("ReadoutError(-1) err = %v, want *QubitRangeError", err)
+	}
 }
 
 func TestValidate(t *testing.T) {
@@ -84,7 +112,7 @@ func TestCloneIndependent(t *testing.T) {
 	c := s.Clone()
 	c.SetTwoQubitError(0, 1, 0.2)
 	c.OneQubit[0] = 0.9
-	if s.TwoQubitError(0, 1) != 0.05 || s.OneQubit[0] != 0.002 {
+	if s.MustTwoQubitError(0, 1) != 0.05 || s.OneQubit[0] != 0.002 {
 		t.Fatal("clone shares state with original")
 	}
 }
@@ -114,7 +142,7 @@ func TestScaleErrorsMeanOnly(t *testing.T) {
 		t.Fatalf("scaled mean = %v, want %v", newMean, origMean*0.1)
 	}
 	// Cov preserved: relative ordering and ratios maintained.
-	if scaled.TwoQubitError(0, 1) >= scaled.TwoQubitError(3, 4) {
+	if scaled.MustTwoQubitError(0, 1) >= scaled.MustTwoQubitError(3, 4) {
 		t.Fatal("scaling destroyed ordering")
 	}
 }
@@ -197,7 +225,7 @@ func TestGenerateMatchesPaperStatistics(t *testing.T) {
 	}
 
 	// Figure 9: spatial spread of mean link rates ≈ 7.5×.
-	m := arch.Mean()
+	m := arch.MustMean()
 	spatial := Summarize(m.LinkRates())
 	if spatial.SpreadFactor < 3 {
 		t.Errorf("spatial spread = %vx, want several x", spatial.SpreadFactor)
@@ -245,7 +273,7 @@ func TestGenerateTemporalPersistence(t *testing.T) {
 	arch := Generate(cfg)
 	worst := *cfg.WorstCoupling
 	weakSeries := arch.LinkSeries(worst.A, worst.B)
-	m := arch.Mean()
+	m := arch.MustMean()
 	best, _ := m.StrongestLink()
 	strongSeries := arch.LinkSeries(best.A, best.B)
 	wins := 0
@@ -282,13 +310,17 @@ func TestLinkSeriesLength(t *testing.T) {
 	}
 }
 
-func TestMeanOfEmptyArchivePanics(t *testing.T) {
+func TestMeanOfEmptyArchive(t *testing.T) {
+	_, err := (&Archive{Topo: topo.IBMQ5()}).Mean()
+	if !errors.Is(err, ErrEmptyArchive) {
+		t.Fatalf("Mean of empty archive err = %v, want ErrEmptyArchive", err)
+	}
 	defer func() {
 		if recover() == nil {
-			t.Fatal("Mean of empty archive did not panic")
+			t.Fatal("MustMean of empty archive did not panic")
 		}
 	}()
-	(&Archive{Topo: topo.IBMQ5()}).Mean()
+	(&Archive{Topo: topo.IBMQ5()}).MustMean()
 }
 
 func TestTenerifeSnapshot(t *testing.T) {

@@ -61,12 +61,62 @@ func (a *Archive) WriteJSON(w io.Writer) error {
 	return enc.Encode(out)
 }
 
+// CycleError describes one calibration cycle that failed validation and
+// was quarantined by ReadJSONLenient.
+type CycleError struct {
+	Index int // position in the archive's snapshot list
+	Cycle int // the cycle index the snapshot claimed
+	Err   error
+}
+
+func (e *CycleError) Error() string {
+	return fmt.Sprintf("calib: snapshot %d (cycle %d): %v", e.Index, e.Cycle, e.Err)
+}
+
+// Unwrap exposes the underlying validation error to errors.Is/As.
+func (e *CycleError) Unwrap() error { return e.Err }
+
 // ReadJSON deserializes an archive written by WriteJSON, rebuilding and
-// validating the topology and every snapshot.
+// validating the topology and every snapshot. Any invalid cycle fails
+// the whole read; use ReadJSONLenient to quarantine bad cycles instead.
 func ReadJSON(r io.Reader) (*Archive, error) {
+	arch, quarantined, err := decodeArchive(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(quarantined) > 0 {
+		return nil, quarantined[0]
+	}
+	return arch, nil
+}
+
+// ReadJSONLenient deserializes an archive, skipping snapshots that fail
+// validation (NaN/negative/out-of-range probabilities, length
+// mismatches, duplicate cycle indices, negative days) instead of
+// rejecting the archive: real NISQ characterization feeds routinely
+// contain malformed or outlier cycles, and one bad cycle must degrade a
+// 52-day sweep, not destroy it. The quarantined cycles are reported so
+// the harness can render them alongside the surviving results. An error
+// is returned only when the stream is not decodable at all, the
+// topology itself is invalid, or no valid snapshot survives.
+func ReadJSONLenient(r io.Reader) (*Archive, []*CycleError, error) {
+	arch, quarantined, err := decodeArchive(r)
+	if err != nil {
+		return nil, quarantined, err
+	}
+	if len(arch.Snapshots) == 0 {
+		return nil, quarantined, fmt.Errorf("calib: archive has no valid snapshots (%d quarantined): %w", len(quarantined), ErrEmptyArchive)
+	}
+	return arch, quarantined, nil
+}
+
+// decodeArchive is the shared reader: it keeps every valid snapshot and
+// reports each invalid one as a *CycleError. Only undecodable streams
+// and invalid topologies are hard errors.
+func decodeArchive(r io.Reader) (*Archive, []*CycleError, error) {
 	var in jsonArchive
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
-		return nil, fmt.Errorf("calib: decode archive: %w", err)
+		return nil, nil, fmt.Errorf("calib: decode archive: %w", err)
 	}
 	var couplings []topo.Coupling
 	for _, c := range in.Topology.Couplings {
@@ -74,45 +124,57 @@ func ReadJSON(r io.Reader) (*Archive, error) {
 	}
 	t, err := topo.New(in.Topology.Name, in.Topology.NumQubits, couplings)
 	if err != nil {
-		return nil, fmt.Errorf("calib: archive topology: %w", err)
+		return nil, nil, fmt.Errorf("calib: archive topology: %w", err)
 	}
 	arch := &Archive{Topo: t}
+	var quarantined []*CycleError
+	seenCycle := make(map[int]bool, len(in.Snapshots))
 	for i, js := range in.Snapshots {
-		if len(js.TwoQubit) != len(t.Couplings) {
-			return nil, fmt.Errorf("calib: snapshot %d has %d link rates for %d couplings", i, len(js.TwoQubit), len(t.Couplings))
+		s, err := decodeSnapshot(t, js)
+		if err == nil && seenCycle[s.Cycle] {
+			err = fmt.Errorf("duplicate cycle index %d", s.Cycle)
 		}
-		s := NewSnapshot(t)
-		s.Cycle, s.Day = js.Cycle, js.Day
-		for ci, c := range t.Couplings {
-			s.TwoQubit[c] = js.TwoQubit[ci]
+		if err == nil {
+			err = arch.validateSnapshot(s)
 		}
-		if err := fill(s.OneQubit, js.OneQubit, "one_qubit", i); err != nil {
-			return nil, err
+		if err != nil {
+			quarantined = append(quarantined, &CycleError{Index: i, Cycle: js.Cycle, Err: err})
+			continue
 		}
-		if err := fill(s.Readout, js.Readout, "readout", i); err != nil {
-			return nil, err
-		}
-		if err := fill(s.T1Us, js.T1Us, "t1_us", i); err != nil {
-			return nil, err
-		}
-		if err := fill(s.T2Us, js.T2Us, "t2_us", i); err != nil {
-			return nil, err
-		}
-		if err := s.Validate(); err != nil {
-			return nil, fmt.Errorf("calib: snapshot %d: %w", i, err)
-		}
+		seenCycle[s.Cycle] = true
 		arch.Snapshots = append(arch.Snapshots, s)
 	}
-	if len(arch.Snapshots) == 0 {
-		return nil, fmt.Errorf("calib: archive has no snapshots")
+	if len(arch.Snapshots) == 0 && len(quarantined) == 0 {
+		return nil, nil, fmt.Errorf("calib: archive has no snapshots")
 	}
-	return arch, nil
+	return arch, quarantined, nil
 }
 
-func fill(dst, src []float64, field string, snap int) error {
-	if len(src) != len(dst) {
-		return fmt.Errorf("calib: snapshot %d field %s has %d entries, want %d", snap, field, len(src), len(dst))
+// decodeSnapshot rebuilds one snapshot on t, checking only field shapes;
+// the caller validates the values.
+func decodeSnapshot(t *topo.Topology, js jsonSnapshot) (*Snapshot, error) {
+	if len(js.TwoQubit) != len(t.Couplings) {
+		return nil, fmt.Errorf("%d link rates for %d couplings", len(js.TwoQubit), len(t.Couplings))
 	}
-	copy(dst, src)
-	return nil
+	s := NewSnapshot(t)
+	s.Cycle, s.Day = js.Cycle, js.Day
+	for ci, c := range t.Couplings {
+		s.TwoQubit[c] = js.TwoQubit[ci]
+	}
+	for _, field := range []struct {
+		name string
+		dst  []float64
+		src  []float64
+	}{
+		{"one_qubit", s.OneQubit, js.OneQubit},
+		{"readout", s.Readout, js.Readout},
+		{"t1_us", s.T1Us, js.T1Us},
+		{"t2_us", s.T2Us, js.T2Us},
+	} {
+		if len(field.src) != len(field.dst) {
+			return nil, fmt.Errorf("field %s has %d entries, want %d", field.name, len(field.src), len(field.dst))
+		}
+		copy(field.dst, field.src)
+	}
+	return s, nil
 }

@@ -15,7 +15,7 @@ import (
 // realistic variation across links.
 func skewedQ20() *device.Device {
 	arch := calib.Generate(calib.DefaultQ20Config(17))
-	return device.MustNew(arch.Topo, arch.Mean())
+	return device.MustNew(arch.Topo, arch.MustMean())
 }
 
 func uniformQ20() *device.Device {

@@ -15,7 +15,7 @@ import (
 func Example() {
 	// Machine model: synthetic 52-day characterization archive, averaged.
 	arch := calib.Generate(calib.DefaultQ20Config(2019))
-	dev := device.MustNew(arch.Topo, arch.Mean())
+	dev := device.MustNew(arch.Topo, arch.MustMean())
 
 	// A 4-qubit GHZ-state program over logical qubits.
 	prog := circuit.New("ghz-4", 4).H(0).CX(0, 1).CX(1, 2).CX(2, 3).MeasureAll()

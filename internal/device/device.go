@@ -71,7 +71,7 @@ func (d *Device) NumQubits() int { return d.topo.NumQubits }
 // CNOTSuccess returns the success probability of one CNOT across the a–b
 // coupling. It panics when a and b are not coupled.
 func (d *Device) CNOTSuccess(a, b int) float64 {
-	return 1 - d.snap.TwoQubitError(a, b)
+	return 1 - d.snap.MustTwoQubitError(a, b)
 }
 
 // SwapSuccess returns the success probability of a SWAP across the a–b

@@ -166,11 +166,11 @@ func TestCostDistancePrefersReliableDetour(t *testing.T) {
 func TestScaleReducesErrors(t *testing.T) {
 	d := testDevice(t, 0.1)
 	scaled := d.Scale(0.1, 1)
-	if got := scaled.Snapshot().TwoQubitError(0, 1); math.Abs(got-0.01) > 1e-9 {
+	if got := scaled.Snapshot().MustTwoQubitError(0, 1); math.Abs(got-0.01) > 1e-9 {
 		t.Fatalf("scaled link error = %v, want 0.01", got)
 	}
 	// Original unchanged.
-	if got := d.Snapshot().TwoQubitError(0, 1); got != 0.1 {
+	if got := d.Snapshot().MustTwoQubitError(0, 1); got != 0.1 {
 		t.Fatal("Scale mutated the original device")
 	}
 }

@@ -68,7 +68,7 @@ func TestFingerprintSensitivity(t *testing.T) {
 // (own topology, subset of calibration) and must fingerprint differently.
 func TestFingerprintRestrict(t *testing.T) {
 	arch := calib.Generate(calib.DefaultQ20Config(3))
-	d := MustNew(arch.Topo, arch.Mean())
+	d := MustNew(arch.Topo, arch.MustMean())
 	sub, _, err := d.Restrict([]int{0, 1, 2, 5, 6, 7})
 	if err != nil {
 		t.Fatal(err)

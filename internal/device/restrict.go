@@ -47,7 +47,7 @@ func (d *Device) Restrict(qubits []int) (*Device, []int, error) {
 	snap := calib.NewSnapshot(sub)
 	snap.Cycle, snap.Day = d.snap.Cycle, d.snap.Day
 	for _, c := range sub.Couplings {
-		snap.SetTwoQubitError(c.A, c.B, d.snap.TwoQubitError(orig[c.A], orig[c.B]))
+		snap.SetTwoQubitError(c.A, c.B, d.snap.MustTwoQubitError(orig[c.A], orig[c.B]))
 	}
 	for i, q := range orig {
 		snap.OneQubit[i] = d.snap.OneQubit[q]

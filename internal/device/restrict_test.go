@@ -9,7 +9,7 @@ import (
 func q20ForRestrict(t *testing.T) *Device {
 	t.Helper()
 	arch := calib.Generate(calib.DefaultQ20Config(2))
-	return MustNew(arch.Topo, arch.Mean())
+	return MustNew(arch.Topo, arch.MustMean())
 }
 
 func TestRestrictBasics(t *testing.T) {
@@ -26,7 +26,7 @@ func TestRestrictBasics(t *testing.T) {
 	}
 	// Carried-over calibration: link 0-1 exists on both devices with the
 	// same error rate.
-	if got, want := sub.Snapshot().TwoQubitError(0, 1), d.Snapshot().TwoQubitError(0, 1); got != want {
+	if got, want := sub.Snapshot().MustTwoQubitError(0, 1), d.Snapshot().MustTwoQubitError(0, 1); got != want {
 		t.Fatalf("restricted link error = %v, want %v", got, want)
 	}
 	// Qubit figures carried by original index: sub qubit 3 is original 5.

@@ -221,7 +221,7 @@ type Fig9Result struct {
 // 0.15 on Q14–Q18, 7.5× spread).
 func Fig9SpatialVariation(cfg Config) Fig9Result {
 	cfg = cfg.withDefaults()
-	mean := cfg.archive().Mean()
+	mean := cfg.archive().MustMean()
 	res := Fig9Result{MeanRates: map[topo.Coupling]float64{}}
 	for _, c := range mean.Topo.Couplings {
 		res.MeanRates[c] = mean.TwoQubit[c]

@@ -51,6 +51,10 @@ type Config struct {
 	// results are identical at every setting (see DESIGN.md, "Concurrency
 	// and determinism").
 	Workers int
+	// Archive, when non-nil, replaces the synthetic characterization
+	// archive with an externally loaded one (repro -calib). Callers should
+	// validate it first (calib.Archive.Validate or calib.ReadJSONLenient).
+	Archive *calib.Archive
 }
 
 // DefaultConfig returns the paper-faithful settings (except MC trial
@@ -86,9 +90,13 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// archive builds (and memoizes per Config value) the 52-day synthetic
-// IBM-Q20 characterization archive.
+// archive returns the characterization archive driving every IBM-Q20
+// experiment: the externally loaded one when set, else the 52-day
+// synthetic archive generated from the seed.
 func (c Config) archive() *calib.Archive {
+	if c.Archive != nil {
+		return c.Archive
+	}
 	return calib.Generate(calib.DefaultQ20Config(c.Seed))
 }
 
@@ -96,7 +104,7 @@ func (c Config) archive() *calib.Archive {
 // the machine model of the paper's main evaluations.
 func (c Config) meanQ20() *device.Device {
 	arch := c.archive()
-	return device.MustNew(arch.Topo, arch.Mean())
+	return device.MustNew(arch.Topo, arch.MustMean())
 }
 
 // q5 returns the simulated IBM-Q5 device (Section 7 substitution): the

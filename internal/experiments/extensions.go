@@ -292,7 +292,7 @@ type ExtTopologyRow struct {
 // machine where routing is free.
 func ExtTopology(cfg Config) ([]ExtTopologyRow, error) {
 	cfg = cfg.withDefaults()
-	mean := calib.Summarize(cfg.archive().Mean().LinkRates()).Mean
+	mean := calib.Summarize(cfg.archive().MustMean().LinkRates()).Mean
 	makeDevice := func(t *topo.Topology) (*device.Device, error) {
 		s := calib.NewSnapshot(t)
 		for _, c := range t.Couplings {

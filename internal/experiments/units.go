@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"strings"
+	"sync"
+
+	"vaq/internal/checkpoint"
+	"vaq/internal/parallel"
+)
+
+// The unit layer decomposes each experiment into independently failing,
+// independently checkpointable pieces of work. A unit is the smallest
+// result the harness persists and quarantines: one workload row, one
+// day's recompilation, one scaling configuration. When a unit fails —
+// returns an error or panics — its siblings keep running, the failure
+// is recorded in the run's FailureReport, and the experiment still
+// renders every surviving row. When a checkpoint store is attached,
+// completed units are persisted and a resumed run serves them back
+// without recomputation, bit-identically.
+
+// UnitKey identifies one unit of experiment work. Fields that do not
+// apply are left zero (Day uses -1 for "not applicable" so day 0 stays
+// meaningful).
+type UnitKey struct {
+	Experiment string // e.g. "fig13"
+	Workload   string // e.g. "bv-16"; empty when n/a
+	Day        int    // characterization day; -1 when n/a
+	Policy     string // policy or configuration label; empty when n/a
+}
+
+func (k UnitKey) String() string {
+	parts := []string{k.Experiment}
+	if k.Workload != "" {
+		parts = append(parts, k.Workload)
+	}
+	if k.Day >= 0 {
+		parts = append(parts, fmt.Sprintf("day%d", k.Day))
+	}
+	if k.Policy != "" {
+		parts = append(parts, k.Policy)
+	}
+	return strings.Join(parts, "/")
+}
+
+// UnitFailure is one quarantined unit: the unit that failed, why, and —
+// when the failure was a panic — the captured goroutine stack.
+type UnitFailure struct {
+	Key   UnitKey
+	Err   error
+	Stack []byte // non-nil only for panics
+}
+
+// FailureReport collects every quarantined unit of a run, in the order
+// the failures were observed.
+type FailureReport struct {
+	Failures []UnitFailure
+}
+
+// Empty reports whether every unit succeeded.
+func (r *FailureReport) Empty() bool { return r == nil || len(r.Failures) == 0 }
+
+// Err joins the failures into one error (nil when the report is empty),
+// preserving errors.Is/As access to each underlying cause.
+func (r *FailureReport) Err() error {
+	if r.Empty() {
+		return nil
+	}
+	errs := make([]error, len(r.Failures))
+	for i, f := range r.Failures {
+		errs[i] = fmt.Errorf("%s: %w", f.Key, f.Err)
+	}
+	return errors.Join(errs...)
+}
+
+// String renders the report as a block suitable for printing after the
+// result tables: one line per failure, with panic stacks indented below
+// the unit they belong to.
+func (r *FailureReport) String() string {
+	if r.Empty() {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== FAILURE REPORT: %d unit(s) quarantined ==\n", len(r.Failures))
+	for _, f := range r.Failures {
+		fmt.Fprintf(&b, "  %-30s %v\n", f.Key, f.Err)
+		if len(f.Stack) > 0 {
+			for _, line := range strings.Split(strings.TrimRight(string(f.Stack), "\n"), "\n") {
+				fmt.Fprintf(&b, "    | %s\n", line)
+			}
+		}
+	}
+	return b.String()
+}
+
+// Runner carries the cross-cutting run state through an experiment:
+// cancellation context, configuration, the optional checkpoint store,
+// and the failure report that quarantined units accumulate into. One
+// Runner spans one harness invocation (possibly many experiments); it
+// is safe for concurrent use by the experiment fan-outs.
+type Runner struct {
+	ctx   context.Context
+	cfg   Config
+	store *checkpoint.Store
+
+	// OnUnitDone, when set, is called after a unit is computed (not when
+	// it is served from the checkpoint). The harness tests use it to
+	// cancel a run after a known number of completed units.
+	OnUnitDone func(UnitKey)
+
+	scopeOnce sync.Once
+	scope     string
+
+	mu       sync.Mutex
+	failures []UnitFailure
+}
+
+// NewRunner builds a Runner. ctx may be nil (treated as background);
+// store may be nil (checkpointing disabled).
+func NewRunner(ctx context.Context, cfg Config, store *checkpoint.Store) *Runner {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Runner{ctx: ctx, cfg: cfg, store: store}
+}
+
+// Context returns the run's cancellation context.
+func (r *Runner) Context() context.Context { return r.ctx }
+
+// Config returns the run's experiment configuration.
+func (r *Runner) Config() Config { return r.cfg }
+
+// Report returns the failures quarantined so far.
+func (r *Runner) Report() *FailureReport {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return &FailureReport{Failures: append([]UnitFailure(nil), r.failures...)}
+}
+
+// Quarantine records a failed unit. Panic captures (wrapped
+// *parallel.PanicError values) carry their stack into the report.
+func (r *Runner) Quarantine(key UnitKey, err error) {
+	f := UnitFailure{Key: key, Err: err}
+	var pe *parallel.PanicError
+	if errors.As(err, &pe) {
+		f.Stack = pe.Stack
+	}
+	r.mu.Lock()
+	r.failures = append(r.failures, f)
+	r.mu.Unlock()
+}
+
+// scopeString pins a checkpoint entry to everything a unit result
+// depends on besides its key: the seed, every trial budget, and the
+// fingerprint of the device model the archive produces. A resumed run
+// with any of these changed misses cleanly instead of serving stale
+// rows. Computed lazily — it builds the archive — and only consulted
+// when a store is attached.
+func (r *Runner) scopeString() string {
+	r.scopeOnce.Do(func() {
+		cfg := r.cfg.withDefaults()
+		r.scope = fmt.Sprintf("seed=%d,trials=%d,native=%dx%d,q5=%d,dev=%016x",
+			cfg.Seed, cfg.Trials, cfg.NativeConfigs, cfg.NativeTrials, cfg.Q5Trials,
+			cfg.meanQ20().Fingerprint())
+	})
+	return r.scope
+}
+
+// RunUnit executes one unit of work under the run's fault-isolation
+// discipline and returns (result, true) on success. It returns
+// (zero, false) without quarantining when the run is cancelled before
+// or during the unit, and (zero, false) with the failure quarantined
+// when fn errors or panics. With a checkpoint store attached, completed
+// results are persisted and resume-mode runs serve matching entries
+// back without recomputing.
+func RunUnit[T any](r *Runner, key UnitKey, fn func() (T, error)) (T, bool) {
+	var zero T
+	if r.ctx.Err() != nil {
+		return zero, false
+	}
+	ckKey := ""
+	if r.store != nil {
+		ckKey = key.String() + "@" + r.scopeString()
+		var v T
+		if hit, err := r.store.Get(ckKey, &v); err == nil && hit {
+			return v, true
+		}
+	}
+	v, err := runShielded(fn)
+	if err != nil {
+		// A unit cut short by cancellation is unfinished work, not a
+		// fault; it must not pollute the quarantine report.
+		if r.ctx.Err() != nil && !isPanic(err) {
+			return zero, false
+		}
+		r.Quarantine(key, err)
+		return zero, false
+	}
+	if r.store != nil {
+		if perr := r.store.Put(ckKey, v); perr != nil {
+			// The result is still good; record that it could not be
+			// persisted so a later resume knows why it recomputes.
+			r.Quarantine(key, perr)
+		}
+	}
+	if r.OnUnitDone != nil {
+		r.OnUnitDone(key)
+	}
+	return v, true
+}
+
+// runShielded invokes fn, converting a panic into a *parallel.PanicError
+// carrying the recovered value and stack.
+func runShielded[T any](fn func() (T, error)) (v T, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = &parallel.PanicError{Value: rec, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}
+
+func isPanic(err error) bool {
+	var pe *parallel.PanicError
+	return errors.As(err, &pe)
+}
+
+// collectUnits fans n units out over the run's worker budget, letting
+// every unit run to completion regardless of sibling failures (the
+// failures land in the Runner's report, not here), and stopping only
+// when the run is cancelled. It returns ctx.Err() so callers surface
+// truncation.
+func (r *Runner) collectUnits(n int, unit func(i int)) error {
+	_ = parallel.Collect(r.ctx, r.cfg.withDefaults().Workers, n, func(i int) error {
+		unit(i)
+		return nil
+	})
+	return r.ctx.Err()
+}

@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"vaq/internal/checkpoint"
+	"vaq/internal/parallel"
+)
+
+func TestUnitKeyString(t *testing.T) {
+	cases := []struct {
+		key  UnitKey
+		want string
+	}{
+		{UnitKey{Experiment: "fig13", Workload: "bv-16", Day: -1, Policy: "all"}, "fig13/bv-16/all"},
+		{UnitKey{Experiment: "fig14", Workload: "bv-16", Day: 0, Policy: "vqa+vqm"}, "fig14/bv-16/day0/vqa+vqm"},
+		{UnitKey{Experiment: "table2", Day: -1}, "table2"},
+	}
+	for _, c := range cases {
+		if got := c.key.String(); got != c.want {
+			t.Errorf("%+v.String() = %q, want %q", c.key, got, c.want)
+		}
+	}
+}
+
+func TestRunUnitQuarantinesErrorsAndPanicsButNotSiblings(t *testing.T) {
+	r := NewRunner(context.Background(), Config{}, nil)
+	n := 6
+	got := make([]int, 0, n)
+	err := r.collectUnits(n, func(i int) {
+		key := UnitKey{Experiment: "x", Workload: fmt.Sprint(i), Day: -1}
+		v, ok := RunUnit(r, key, func() (int, error) {
+			switch i {
+			case 2:
+				return 0, errors.New("unit error")
+			case 4:
+				panic("unit panic")
+			}
+			return i * 10, nil
+		})
+		if ok {
+			got = append(got, v)
+		}
+	})
+	if err != nil {
+		t.Fatalf("collectUnits err = %v (failures must stay in the report)", err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("%d surviving units, want 4: %v", len(got), got)
+	}
+	rep := r.Report()
+	if len(rep.Failures) != 2 {
+		t.Fatalf("%d failures, want 2: %v", len(rep.Failures), rep.Err())
+	}
+	var sawPanic bool
+	for _, f := range rep.Failures {
+		if f.Key.Workload == "4" {
+			sawPanic = true
+			if len(f.Stack) == 0 || !strings.Contains(string(f.Stack), "units_test.go") {
+				t.Fatalf("panicking unit lost its stack: %q", f.Stack)
+			}
+		}
+	}
+	if !sawPanic {
+		t.Fatalf("panicking unit not named in report: %v", rep.Err())
+	}
+	if !strings.Contains(rep.String(), "x/4") || !strings.Contains(rep.String(), "unit panic") {
+		t.Fatalf("report rendering misses the failed unit:\n%s", rep.String())
+	}
+}
+
+func TestRunUnitCancellationIsNotAFault(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := NewRunner(ctx, Config{}, nil)
+	_, ok := RunUnit(r, UnitKey{Experiment: "x", Day: -1}, func() (int, error) {
+		t.Fatal("unit ran after cancellation")
+		return 0, nil
+	})
+	if ok {
+		t.Fatal("cancelled unit reported success")
+	}
+	if !r.Report().Empty() {
+		t.Fatalf("cancellation was quarantined: %v", r.Report().Err())
+	}
+}
+
+func TestRunUnitCheckpointServesWithoutRecompute(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Seed: 7, Trials: 1000}
+	key := UnitKey{Experiment: "x", Workload: "w", Day: -1}
+
+	store, err := checkpoint.Open(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var computes atomic.Int64
+	unit := func() (float64, error) { computes.Add(1); return 0.123456789, nil }
+
+	r1 := NewRunner(context.Background(), cfg, store)
+	if v, ok := RunUnit(r1, key, unit); !ok || v != 0.123456789 {
+		t.Fatalf("first run = (%v, %v)", v, ok)
+	}
+
+	resumed, err := checkpoint.Open(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := NewRunner(context.Background(), cfg, resumed)
+	if v, ok := RunUnit(r2, key, unit); !ok || v != 0.123456789 {
+		t.Fatalf("resumed run = (%v, %v)", v, ok)
+	}
+	if computes.Load() != 1 {
+		t.Fatalf("unit computed %d times, want 1 (second run must serve the checkpoint)", computes.Load())
+	}
+
+	// A different seed changes the scope: the entry must not be served.
+	r3 := NewRunner(context.Background(), Config{Seed: 8, Trials: 1000}, resumed)
+	if _, ok := RunUnit(r3, key, unit); !ok {
+		t.Fatal("scope-mismatched unit failed")
+	}
+	if computes.Load() != 2 {
+		t.Fatalf("stale entry served across a seed change (computes = %d)", computes.Load())
+	}
+}
+
+func TestOnUnitDoneFiresOnComputeNotOnCacheHit(t *testing.T) {
+	dir := t.TempDir()
+	store, err := checkpoint.Open(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Seed: 7}
+	key := UnitKey{Experiment: "x", Day: -1}
+	var done atomic.Int64
+
+	r1 := NewRunner(context.Background(), cfg, store)
+	r1.OnUnitDone = func(UnitKey) { done.Add(1) }
+	RunUnit(r1, key, func() (int, error) { return 1, nil })
+	if done.Load() != 1 {
+		t.Fatalf("OnUnitDone fired %d times after compute, want 1", done.Load())
+	}
+
+	resumed, _ := checkpoint.Open(dir, true)
+	r2 := NewRunner(context.Background(), cfg, resumed)
+	r2.OnUnitDone = func(UnitKey) { done.Add(1) }
+	RunUnit(r2, key, func() (int, error) { return 1, nil })
+	if done.Load() != 1 {
+		t.Fatal("OnUnitDone fired for a checkpoint hit")
+	}
+}
+
+func TestQuarantineCapturesParallelPanicStack(t *testing.T) {
+	r := NewRunner(context.Background(), Config{}, nil)
+	err := parallel.Collect(context.Background(), 1, 1, func(i int) error { panic("deep") })
+	r.Quarantine(UnitKey{Experiment: "e", Day: -1}, err)
+	rep := r.Report()
+	if len(rep.Failures) != 1 || len(rep.Failures[0].Stack) == 0 {
+		t.Fatalf("stack lost through error wrapping: %+v", rep.Failures)
+	}
+}
+
+// TestTable1CtxCheckpointDeterminism pins the resume contract end to end
+// on a real (compile-only, fast) experiment: rows computed fresh and rows
+// served from a checkpoint are bit-identical.
+func TestTable1CtxCheckpointDeterminism(t *testing.T) {
+	cfg := fastCfg()
+	fresh, err := Table1Benchmarks(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	store, err := checkpoint.Open(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := NewRunner(context.Background(), cfg, store)
+	if _, err := Table1BenchmarksCtx(r1); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := checkpoint.Open(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := NewRunner(context.Background(), cfg, resumed)
+	served, err := Table1BenchmarksCtx(r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh, served) {
+		t.Fatalf("resumed rows differ from fresh rows:\nfresh:  %+v\nserved: %+v", fresh, served)
+	}
+	hits, _, _, _ := resumed.Stats()
+	if hits != len(fresh) {
+		t.Fatalf("served %d units from checkpoint, want %d", hits, len(fresh))
+	}
+}

@@ -1,9 +1,11 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -145,5 +147,114 @@ func TestConcurrentStress(t *testing.T) {
 	want := int64(n) * int64(n-1) / 2
 	if sum.Load() != want {
 		t.Fatalf("sum = %d, want %d", sum.Load(), want)
+	}
+}
+
+func TestCollectReturnsAllFailuresInIndexOrder(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		err := Collect(context.Background(), workers, 10, func(i int) error {
+			ran.Add(1)
+			if i%2 == 1 {
+				return fmt.Errorf("fail-%d", i)
+			}
+			return nil
+		})
+		if ran.Load() != 10 {
+			t.Fatalf("workers=%d: ran %d items, want all 10 despite failures", workers, ran.Load())
+		}
+		var joined interface{ Unwrap() []error }
+		if !errors.As(err, &joined) {
+			t.Fatalf("workers=%d: Collect error is not a join: %v", workers, err)
+		}
+		errs := joined.Unwrap()
+		if len(errs) != 5 {
+			t.Fatalf("workers=%d: %d failures, want all 5", workers, len(errs))
+		}
+		for k, e := range errs {
+			var pe *Error
+			if !errors.As(e, &pe) || pe.Index != 2*k+1 {
+				t.Fatalf("workers=%d: failure %d = %v, want index %d", workers, k, e, 2*k+1)
+			}
+		}
+	}
+}
+
+func TestCollectPanicCarriesStack(t *testing.T) {
+	err := Collect(context.Background(), 4, 6, func(i int) error {
+		if i == 3 {
+			panic("unit exploded")
+		}
+		return nil
+	})
+	var pan *PanicError
+	if !errors.As(err, &pan) {
+		t.Fatalf("panic not captured: %v", err)
+	}
+	if pan.Value != "unit exploded" {
+		t.Fatalf("panic value = %v", pan.Value)
+	}
+	if !strings.Contains(string(pan.Stack), "parallel_test.go") {
+		t.Fatalf("stack does not point at the panic site:\n%s", pan.Stack)
+	}
+}
+
+func TestForEachCtxCancellationMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	err := ForEachCtx(ctx, 2, 1000, func(i int) error {
+		if started.Add(1) == 5 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := started.Load(); n >= 1000 {
+		t.Fatalf("cancellation did not stop the claim loop (%d items ran)", n)
+	}
+}
+
+func TestCollectCtxCancellationJoinsCtxErr(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := Collect(ctx, 4, 50, func(i int) error { ran.Add(1); return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled joined", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("pre-cancelled Collect still ran %d items", ran.Load())
+	}
+}
+
+func TestMapCtxDiscardsPartialsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := MapCtx(ctx, 4, 20, func(i int) (int, error) { return i, nil })
+	if out != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("MapCtx after cancel = (%v, %v)", out, err)
+	}
+}
+
+// TestSerialParallelIdentical pins the determinism contract: the same
+// inputs produce the same outputs at every worker count.
+func TestSerialParallelIdentical(t *testing.T) {
+	compute := func(workers int) []int {
+		out, err := Map(workers, 64, func(i int) (int, error) { return i*i + 7, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := compute(-1)
+	for _, workers := range []int{1, 2, 8, 32} {
+		got := compute(workers)
+		for i := range serial {
+			if got[i] != serial[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, serial %d", workers, i, got[i], serial[i])
+			}
+		}
 	}
 }

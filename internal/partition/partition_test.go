@@ -15,7 +15,7 @@ import (
 
 func q20(seed int64) *device.Device {
 	arch := calib.Generate(calib.DefaultQ20Config(seed))
-	return device.MustNew(arch.Topo, arch.Mean())
+	return device.MustNew(arch.Topo, arch.MustMean())
 }
 
 func fastOpts() Options {

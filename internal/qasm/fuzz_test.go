@@ -1,0 +1,43 @@
+package qasm
+
+import (
+	"testing"
+)
+
+// FuzzParse drives the QASM parser with arbitrary source. Invariants: no
+// panic; on success, a non-nil circuit whose serialization parses again
+// (parse/serialize is a fixed point after one round).
+//
+// Crash-regression seeds live in testdata/fuzz/FuzzParse alongside the
+// generated corpus, so past parser crashes stay covered by plain
+// `go test` runs forever.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"OPENQASM 2.0;\nqreg q[4];\ncreg c[4];\nh q[0];\ncx q[0],q[1];\nmeasure q[0] -> c[0];\n",
+		"OPENQASM 2.0;\nqreg q[2];\nrz(pi/4) q[1];\nswap q[0],q[1];\n",
+		"qreg q[",       // truncated declaration
+		"h q[0];",       // gate before any register
+		"qreg q[3];\ncx q[0],q[0];", // two-qubit gate on one qubit
+		"OPENQASM 2.0;\nqreg q[1];\nrz() q[0];",
+		"\x00π->[](;",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if c == nil {
+			t.Fatal("Parse returned nil circuit without error")
+		}
+		again, err := Parse(Serialize(c))
+		if err != nil {
+			t.Fatalf("serialized accepted circuit does not re-parse: %v", err)
+		}
+		if again.NumQubits != c.NumQubits {
+			t.Fatalf("round trip changed qubit count: %d -> %d", c.NumQubits, again.NumQubits)
+		}
+	})
+}

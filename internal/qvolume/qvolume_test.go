@@ -149,7 +149,7 @@ func TestVariationAwareQVAtLeastBaseline(t *testing.T) {
 	// variation, the variation-aware compiler achieves at least the
 	// baseline's noisy HOP at the same width (usually more).
 	arch := calib.Generate(calib.DefaultQ20Config(11))
-	d := device.MustNew(arch.Topo, arch.Mean())
+	d := device.MustNew(arch.Topo, arch.MustMean())
 	cfgB := Config{Circuits: 4, Seed: 5, Policy: core.Baseline}
 	cfgV := Config{Circuits: 4, Seed: 5, Policy: core.VQAVQM}
 	rb, err := Evaluate(d, 4, cfgB)

@@ -38,7 +38,7 @@ func TestCachedCostsSharesAndInvalidates(t *testing.T) {
 	// Recalibration: a different archive seed yields different error
 	// rates, so the table must rebuild.
 	recal := calib.Generate(calib.DefaultQ20Config(77))
-	dRecal := device.MustNew(recal.Topo, recal.Mean())
+	dRecal := device.MustNew(recal.Topo, recal.MustMean())
 	if c4 := cachedCosts(dRecal, CostReliability); c4 == c1 {
 		t.Fatal("recalibrated device reused the stale cost table")
 	}

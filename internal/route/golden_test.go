@@ -45,7 +45,7 @@ type goldenCase struct {
 
 func goldenQ20() *device.Device {
 	arch := calib.Generate(calib.DefaultQ20Config(2019))
-	return device.MustNew(arch.Topo, arch.Mean())
+	return device.MustNew(arch.Topo, arch.MustMean())
 }
 
 func goldenQ5() *device.Device {

@@ -16,7 +16,7 @@ import (
 func q20Compiled(t *testing.T) (*device.Device, *circuit.Circuit) {
 	t.Helper()
 	arch := calib.Generate(calib.DefaultQ20Config(2019))
-	d := device.MustNew(arch.Topo, arch.Mean())
+	d := device.MustNew(arch.Topo, arch.MustMean())
 	comp, err := core.Compile(d, workloads.BV(16), core.Options{Policy: core.Baseline})
 	if err != nil {
 		t.Fatal(err)

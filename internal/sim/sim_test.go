@@ -148,7 +148,7 @@ func TestGateErrorsDominateCoherenceForBV20(t *testing.T) {
 	// cause system failures than the coherence errors." Our duty factor is
 	// calibrated to land in that regime (same order of magnitude).
 	arch := calib.Generate(calib.DefaultQ20Config(42))
-	d := device.MustNew(arch.Topo, arch.Mean())
+	d := device.MustNew(arch.Topo, arch.MustMean())
 	prog := workloads.BV(20)
 	comp, err := core.Compile(d, prog, core.Options{Policy: core.Baseline})
 	if err != nil {
@@ -218,7 +218,7 @@ func TestCompiledPipelinePSTOrdering(t *testing.T) {
 	// should deliver PST at least as good as the native compiler's by a
 	// wide margin (Figure 13's 4-7x gap, loosely).
 	arch := calib.Generate(calib.DefaultQ20Config(13))
-	d := device.MustNew(arch.Topo, arch.Mean())
+	d := device.MustNew(arch.Topo, arch.MustMean())
 	prog := workloads.BV(16)
 	native, err := core.Compile(d, prog, core.Options{Policy: core.Native, Seed: 3})
 	if err != nil {

@@ -14,3 +14,10 @@ go test -race "$@" ./...
 # that breaks a benchmark body (rather than its performance) fails the
 # gate instead of surfacing at the next scripts/bench.sh run.
 go test -run '^$' -bench 'MonteCarlo|CompilePipeline|Route|NewCosts|SearchSwaps' -benchtime=1x ./...
+# Fuzz smoke: a short native-fuzzing burst on the two untrusted-input
+# parsers (QASM source, calibration archives). The committed
+# testdata/fuzz corpora replay on every plain `go test` run; this burst
+# additionally mutates for a few seconds so new crashes surface here
+# before they surface in a user's archive.
+go test -run '^$' -fuzz FuzzParse -fuzztime 10s ./internal/qasm
+go test -run '^$' -fuzz FuzzReadJSON -fuzztime 10s ./internal/calib
