@@ -16,6 +16,7 @@ import (
 	"strconv"
 
 	"vaq/internal/calib"
+	"vaq/internal/cliutil"
 )
 
 func main() {
@@ -26,6 +27,11 @@ func main() {
 		format  = flag.String("format", "summary", "output: summary, csv or json (json is loadable by nisqc -calib)")
 	)
 	flag.Parse()
+
+	if err := cliutil.Days("days", *days); err != nil {
+		fmt.Fprintln(os.Stderr, "calgen:", err)
+		os.Exit(2)
+	}
 
 	if err := run(*deviceN, *seed, *days, *format); err != nil {
 		fmt.Fprintln(os.Stderr, "calgen:", err)

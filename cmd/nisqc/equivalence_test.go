@@ -1,0 +1,91 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"vaq/internal/serve"
+)
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// everything it printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatalf("run: %v", runErr)
+	}
+	return string(out)
+}
+
+// TestDaemonMatchesCLI is the service's core contract: for the same
+// (workload, policy, seed, trials, device), the report embedded in a
+// nisqd /v1/compile response is bit-identical to what the nisqc CLI
+// prints. Both sides share serve.Run, and this test pins that neither
+// drifts.
+func TestDaemonMatchesCLI(t *testing.T) {
+	const seed = 2019
+	cases := []struct {
+		workload, policy, dev string
+		trials                int
+	}{
+		{"bv-8", "vqm", "q20", 20000},
+		{"qft-4", "baseline", "q16", 5000},
+		{"ghz-3", "vqa+vqm", "q5", 4000},
+		{"alu", "native", "q20", 3000},
+	}
+
+	srv := serve.New(serve.Config{Seed: seed, MaxTrials: 1000000})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, tc := range cases {
+		t.Run(tc.workload+"/"+tc.policy+"/"+tc.dev, func(t *testing.T) {
+			cliOut := captureStdout(t, func() error {
+				return run(tc.workload, "", tc.policy, tc.dev, "", seed, tc.trials, false, false, false)
+			})
+
+			body := fmt.Sprintf(`{"workload":%q,"policy":%q,"device":%q,"seed":%d,"trials":%d,"monte_carlo":true}`,
+				tc.workload, tc.policy, tc.dev, seed, tc.trials)
+			resp, err := http.Post(ts.URL+"/v1/compile", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			data, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("daemon: status %d: %s", resp.StatusCode, data)
+			}
+			var res struct {
+				Report string `json:"report"`
+			}
+			if err := json.Unmarshal(data, &res); err != nil {
+				t.Fatalf("daemon response: %v", err)
+			}
+			if res.Report != cliOut {
+				t.Errorf("daemon report differs from CLI output\n--- daemon ---\n%s--- cli ---\n%s", res.Report, cliOut)
+			}
+		})
+	}
+}

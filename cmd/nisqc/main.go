@@ -16,17 +16,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 	"time"
 
 	"vaq/internal/calib"
 	"vaq/internal/circuit"
-	"vaq/internal/core"
+	"vaq/internal/cliutil"
 	"vaq/internal/device"
 	"vaq/internal/qasm"
 	"vaq/internal/schedule"
-	"vaq/internal/sim"
+	"vaq/internal/serve"
 	"vaq/internal/trials"
 	"vaq/internal/workloads"
 )
@@ -47,6 +45,14 @@ func main() {
 		timeline = flag.Bool("timeline", false, "print the ASAP schedule as an ASCII Gantt chart")
 	)
 	flag.Parse()
+
+	if err := cliutil.All(
+		cliutil.Trials("trials", *trials),
+		cliutil.Workers("workers", *workers),
+	); err != nil {
+		fmt.Fprintln(os.Stderr, "nisqc:", err)
+		os.Exit(2)
+	}
 
 	if *timeline {
 		timelineRequested = true
@@ -112,55 +118,38 @@ var (
 )
 
 // compileAndReport is the back half of the pipeline once a device model
-// exists: compile, verify, simulate, print.
+// exists: compile, verify, simulate, print. The compile-verify-estimate
+// work and the report text live in serve.Run, shared with the nisqd
+// daemon — the daemon's /v1/compile responses embed the exact string
+// printed here, and an equivalence test pins the two byte for byte.
 func compileAndReport(d *device.Device, prog *circuit.Circuit, policyName string, seed int64, mcTrials int, verbose, outcomes, optimize bool) error {
-	policy, ok := core.PolicyByName(policyName)
-	if !ok {
-		return fmt.Errorf("unknown policy %q", policyName)
-	}
-
-	comp, err := core.Compile(d, prog, core.Options{Policy: policy, Seed: seed, Optimize: optimize})
+	res, err := serve.Run(d, prog, serve.Spec{
+		Policy:   policyName,
+		Seed:     seed,
+		Trials:   mcTrials,
+		Workers:  simWorkers,
+		Optimize: optimize,
+	})
 	if err != nil {
 		return err
 	}
-	if err := comp.Verify(d); err != nil {
-		return fmt.Errorf("internal error: compiled program failed verification: %w", err)
-	}
-
-	in := prog.Stats()
-	out := comp.Routed.Physical.Stats()
-	scfg := sim.Config{Trials: mcTrials, Seed: seed, Workers: simWorkers}
-	prep := sim.Prepare(d, comp.Routed.Physical, scfg)
-	mc := prep.Run(scfg)
-	analytic := prep.AnalyticPST()
-	breakdown := sim.AnalyticBreakdown(d, comp.Routed.Physical, scfg)
-
-	fmt.Printf("program     %s (%d qubits, %d instructions, depth %d)\n", prog.Name, prog.NumQubits, in.Total, in.Depth)
-	fmt.Printf("device      %s (%d qubits, %d links)\n", d.Topology().Name, d.NumQubits(), d.Topology().NumLinks())
-	fmt.Printf("policy      %s (alloc %s, route %s)\n", comp.Policy, comp.Allocator, comp.Router)
-	fmt.Printf("mapping     initial %v\n", comp.Routed.Initial)
-	fmt.Printf("swaps       %d inserted (physical: %d instructions, %d CNOTs, depth %d)\n",
-		comp.Swaps(), out.Total, out.CNOTs, out.Depth)
-	fmt.Printf("duration    %v per trial\n", comp.Routed.Physical.Duration())
-	fmt.Printf("PST         %.4f analytic, %.4f ± %.4f Monte-Carlo (%d trials)\n",
-		analytic, mc.PST, mc.StdErr, mc.Trials)
-	fmt.Printf("hazards     gate %.3f, readout %.3f, coherence %.3f\n",
-		breakdown.Gate, breakdown.Readout, breakdown.Coherence)
+	fmt.Print(res.Report)
+	phys := res.PhysicalCircuit
 	if timelineRequested {
 		fmt.Println("\n-- ASAP schedule (u=1q, C=2q, S=swap, M=measure; 100ns/column) --")
-		fmt.Print(schedule.ASAP(comp.Routed.Physical).Timeline(100*time.Nanosecond, 120))
+		fmt.Print(schedule.ASAP(phys).Timeline(100*time.Nanosecond, 120))
 	}
 	if outcomes {
-		res, err := trials.Run(d, comp.Routed.Physical, trials.Config{Trials: 4096, Seed: seed})
+		tres, err := trials.Run(d, phys, trials.Config{Trials: 4096, Seed: seed})
 		if err != nil {
 			return fmt.Errorf("outcome simulation: %w", err)
 		}
 		fmt.Println("\n-- iterative execution model (4096 trials) --")
-		fmt.Print(res.Summary())
+		fmt.Print(tres.Summary())
 	}
 	if verbose {
 		fmt.Println("\n-- compiled physical circuit --")
-		fmt.Print(qasm.Serialize(comp.Routed.Physical))
+		fmt.Print(qasm.Serialize(phys))
 	}
 	return nil
 }
@@ -182,36 +171,8 @@ func loadProgram(workload, qasmPath string) (*circuit.Circuit, error) {
 	}
 }
 
+// builtin resolves a built-in workload name; the resolution itself
+// lives in workloads.ByName, shared with the nisqd daemon.
 func builtin(name string) (*circuit.Circuit, error) {
-	lower := strings.ToLower(name)
-	switch {
-	case lower == "alu":
-		return workloads.ALU(), nil
-	case lower == "triswap":
-		return workloads.TriSwap(), nil
-	case lower == "rnd-sd":
-		return workloads.RandSD(1), nil
-	case lower == "rnd-ld":
-		return workloads.RandLD(1), nil
-	case strings.HasPrefix(lower, "bv-"):
-		n, err := strconv.Atoi(lower[3:])
-		if err != nil {
-			return nil, fmt.Errorf("bad workload %q", name)
-		}
-		return workloads.BV(n), nil
-	case strings.HasPrefix(lower, "qft-"):
-		n, err := strconv.Atoi(lower[4:])
-		if err != nil {
-			return nil, fmt.Errorf("bad workload %q", name)
-		}
-		return workloads.QFT(n), nil
-	case strings.HasPrefix(lower, "ghz-"):
-		n, err := strconv.Atoi(lower[4:])
-		if err != nil {
-			return nil, fmt.Errorf("bad workload %q", name)
-		}
-		return workloads.GHZ(n), nil
-	default:
-		return nil, fmt.Errorf("unknown workload %q", name)
-	}
+	return workloads.ByName(name)
 }

@@ -35,6 +35,7 @@ import (
 
 	"vaq/internal/calib"
 	"vaq/internal/checkpoint"
+	"vaq/internal/cliutil"
 	"vaq/internal/experiments"
 	"vaq/internal/parallel"
 	"vaq/internal/report"
@@ -56,6 +57,15 @@ func main() {
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if err := cliutil.All(
+		cliutil.Trials("trials", *trials),
+		cliutil.Workers("workers", *workers),
+		cliutil.Timeout("timeout", *timeout),
+	); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(2)
+	}
 
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })

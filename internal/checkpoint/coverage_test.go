@@ -1,0 +1,108 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open("", true); err == nil {
+		t.Fatal("Open(\"\") succeeded, want error")
+	}
+}
+
+func TestOpenMkdirFailure(t *testing.T) {
+	// A regular file where the store directory should go makes MkdirAll
+	// fail.
+	dir := t.TempDir()
+	blocker := filepath.Join(dir, "not-a-dir")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(filepath.Join(blocker, "store"), true); err == nil {
+		t.Fatal("Open under a file succeeded, want error")
+	}
+}
+
+func TestPutUnmarshalableValue(t *testing.T) {
+	s, err := Open(t.TempDir(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Channels have no JSON encoding; Put must fail cleanly and leave no
+	// temp files behind.
+	if err := s.Put("k", make(chan int)); err == nil {
+		t.Fatal("Put(chan) succeeded, want encode error")
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("store dir has %d entries after failed Put, want 0", len(entries))
+	}
+}
+
+func TestPutCreateTempFailure(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Remove the directory out from under the store so CreateTemp fails.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", 1); err == nil {
+		t.Fatal("Put into a removed directory succeeded, want error")
+	}
+}
+
+func TestGetUnreadableEntryIsAMiss(t *testing.T) {
+	s, err := Open(t.TempDir(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A directory at the entry path makes ReadFile fail (not just
+	// not-exist), which must still count as a plain miss.
+	if err := os.Mkdir(s.path("blocked"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	var v int
+	ok, err := s.Get("blocked", &v)
+	if ok || err != nil {
+		t.Fatalf("Get = (%v, %v), want miss with nil error", ok, err)
+	}
+	_, misses, _, _ := s.Stats()
+	if misses != 1 {
+		t.Fatalf("misses = %d, want 1", misses)
+	}
+}
+
+func TestStatsCountsEveryOutcome(t *testing.T) {
+	s, err := Open(t.TempDir(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	var v int
+	if ok, err := s.Get("a", &v); !ok || err != nil {
+		t.Fatalf("Get(a) = (%v, %v)", ok, err)
+	}
+	if ok, _ := s.Get("absent", &v); ok {
+		t.Fatal("Get(absent) hit")
+	}
+	if err := os.WriteFile(s.path("junk"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := s.Get("junk", &v); ok {
+		t.Fatal("Get(junk) hit")
+	}
+	hits, misses, puts, corrupt := s.Stats()
+	if hits != 1 || misses != 1 || puts != 1 || corrupt != 1 {
+		t.Fatalf("Stats = (%d, %d, %d, %d), want (1, 1, 1, 1)", hits, misses, puts, corrupt)
+	}
+}

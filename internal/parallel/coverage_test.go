@@ -1,0 +1,133 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestErrorStrings(t *testing.T) {
+	e := &Error{Index: 3, Err: errors.New("boom")}
+	if got := e.Error(); got != "item 3: boom" {
+		t.Errorf("Error.Error() = %q", got)
+	}
+	p := &PanicError{Value: "bad state"}
+	if got := p.Error(); got != "panic: bad state" {
+		t.Errorf("PanicError.Error() = %q", got)
+	}
+	wrapped := &Error{Index: 1, Err: p}
+	if got := wrapped.Error(); !strings.Contains(got, "panic: bad state") {
+		t.Errorf("wrapped panic string = %q", got)
+	}
+}
+
+func TestForEachCtxItemFailure(t *testing.T) {
+	for _, workers := range []int{-1, 4} {
+		err := ForEachCtx(context.Background(), workers, 8, func(i int) error {
+			if i == 2 {
+				return fmt.Errorf("item failed")
+			}
+			return nil
+		})
+		var ie *Error
+		if !errors.As(err, &ie) {
+			t.Fatalf("workers=%d: error %v, want *Error", workers, err)
+		}
+		if ie.Index != 2 {
+			t.Errorf("workers=%d: index %d, want 2", workers, ie.Index)
+		}
+	}
+}
+
+func TestMapCtxSuccess(t *testing.T) {
+	out, err := MapCtx(context.Background(), 4, 5, func(i int) (int, error) {
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Errorf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapCtxZeroItems(t *testing.T) {
+	out, err := MapCtx(context.Background(), 4, 0, func(i int) (int, error) { return i, nil })
+	if out != nil || err != nil {
+		t.Fatalf("MapCtx(n=0) = (%v, %v), want (nil, nil)", out, err)
+	}
+	// With zero items, a cancelled context is still reported.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := MapCtx(ctx, 4, 0, func(i int) (int, error) { return i, nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("MapCtx(cancelled, n=0) error = %v, want context.Canceled", err)
+	}
+}
+
+func TestMapCtxItemFailureDiscardsResults(t *testing.T) {
+	out, err := MapCtx(context.Background(), 2, 6, func(i int) (int, error) {
+		if i == 4 {
+			return 0, errors.New("late failure")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if out != nil {
+		t.Fatalf("partial results %v survived a failure", out)
+	}
+}
+
+func TestCollectDegenerateInputs(t *testing.T) {
+	if err := Collect(context.Background(), 4, 0, func(i int) error { return nil }); err != nil {
+		t.Fatalf("Collect(n=0) = %v", err)
+	}
+	// Serial discipline (workers < 0) still collects every failure.
+	err := Collect(context.Background(), -1, 3, func(i int) error {
+		return fmt.Errorf("f%d", i)
+	})
+	var joined interface{ Unwrap() []error }
+	if !errors.As(err, &joined) {
+		t.Fatalf("Collect error %T is not a join", err)
+	}
+	if n := len(joined.Unwrap()); n != 3 {
+		t.Fatalf("joined %d errors, want 3", n)
+	}
+}
+
+func TestForEachCtxSerialCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	err := ForEachCtx(ctx, -1, 10, func(i int) error {
+		ran++
+		if i == 1 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if ran != 2 {
+		t.Errorf("ran %d items before serial cancellation took effect, want 2", ran)
+	}
+}
+
+func TestForEachWorkersCappedAtN(t *testing.T) {
+	// More workers than items: the pool must clamp, run everything, and
+	// stay race-free.
+	hit := make([]bool, 3)
+	if err := ForEach(64, 3, func(i int) error { hit[i] = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hit {
+		if !h {
+			t.Errorf("item %d skipped", i)
+		}
+	}
+}

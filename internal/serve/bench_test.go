@@ -1,0 +1,48 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// benchCompile drives POST /v1/compile through the full middleware
+// stack (limiter, metrics, cache) with httptest recorders — no network.
+func benchCompile(b *testing.B, s *Server, body string) {
+	b.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/compile", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		b.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+}
+
+// BenchmarkServeCompile measures the response cache: "hot" replays one
+// request so every iteration after the first is an LRU hit; "cold"
+// varies the seed each iteration so every request misses and runs the
+// full compile-verify-estimate pipeline. The acceptance bar is hot ≥5×
+// faster than cold.
+func BenchmarkServeCompile(b *testing.B) {
+	const body = `{"workload":"bv-8","policy":"vqm","trials":2000,"monte_carlo":true}`
+	b.Run("hot", func(b *testing.B) {
+		s := New(Config{Seed: 2019, CacheEntries: 64})
+		benchCompile(b, s, body) // prime the cache
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchCompile(b, s, body)
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		s := New(Config{Seed: 2019, CacheEntries: 64})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchCompile(b, s, fmt.Sprintf(
+				`{"workload":"bv-8","policy":"vqm","trials":2000,"seed":%d,"monte_carlo":true}`, i+1))
+		}
+	})
+}

@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"vaq/internal/workloads"
+)
+
+// FuzzCompileRequest throws arbitrary bytes at the request decoder —
+// the daemon's front door for untrusted input — and asserts its
+// invariants: it never panics, every accepted request is normalized
+// (exactly one program source, non-empty policy/device, non-nil seed,
+// positive in-cap trials), and resolving the accepted request's program
+// never panics either.
+func FuzzCompileRequest(f *testing.F) {
+	seeds := []string{
+		`{"workload":"bv-8"}`,
+		`{"workload":"bv-8","policy":"vqm","device":"q5","seed":7,"trials":2000,"optimize":true,"monte_carlo":true}`,
+		`{"qasm":"qreg q[2];\ncx q[0], q[1];\nmeasure q[0] -> c[0];\n"}`,
+		`{"workload":"ghz-1000000"}`,
+		`{"workload":"qft-4","trials":-1}`,
+		`{"workload":"alu","unknown_field":1}`,
+		`{"workload":"alu"}{"workload":"alu"}`,
+		`{"qasm":""}`,
+		`{"workload":"rnd-sd","qasm":"qreg q[1];"}`,
+		`null`,
+		`[]`,
+		`{"seed":null,"workload":"triswap"}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data string) {
+		const maxTrials = 1000000
+		req, err := DecodeCompileRequest([]byte(data), maxTrials)
+		if err != nil {
+			if req != nil {
+				t.Fatal("error with non-nil request")
+			}
+			return
+		}
+		// Accepted requests must be fully normalized.
+		if (req.Workload == "") == (req.QASM == "") {
+			t.Fatalf("accepted request has %q/%q, want exactly one source", req.Workload, req.QASM)
+		}
+		if req.Policy == "" || req.Device == "" || req.Seed == nil {
+			t.Fatalf("accepted request not normalized: %+v", req)
+		}
+		if req.Trials <= 0 || req.Trials > maxTrials {
+			t.Fatalf("accepted trials %d out of (0, %d]", req.Trials, maxTrials)
+		}
+		// Resolving the program must not panic, and a resolved workload
+		// must respect the generator size bound.
+		prog, err := req.Program()
+		if err != nil {
+			return
+		}
+		if req.Workload != "" && prog.NumQubits > workloads.MaxNamedQubits {
+			t.Fatalf("workload %q resolved to %d qubits (bound %d)",
+				req.Workload, prog.NumQubits, workloads.MaxNamedQubits)
+		}
+		if req.QASM != "" && strings.TrimSpace(req.QASM) == "" {
+			t.Fatalf("empty qasm parsed without error")
+		}
+	})
+}

@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBounds are the upper bounds (seconds) of the request-latency
+// histogram buckets; an implicit +Inf bucket follows the last.
+var latencyBounds = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// metricsState holds the daemon's operational counters, rendered by
+// GET /metrics in Prometheus text format. The in-flight gauge is an
+// atomic because the limiter reads it on the hot path; everything else
+// is a small mutex-guarded map updated once per request.
+type metricsState struct {
+	inFlight atomic.Int64
+
+	mu        sync.Mutex
+	requests  map[string]int64 // by endpoint
+	responses map[int]int64    // by status code
+	shed      int64            // load-shedding 429s
+	hits      int64            // response-cache hits
+	misses    int64            // response-cache misses
+	buckets   []int64          // latency histogram, one per bound + Inf
+	sumNs     int64
+	count     int64
+}
+
+func newMetricsState() *metricsState {
+	return &metricsState{
+		requests:  make(map[string]int64),
+		responses: make(map[int]int64),
+		buckets:   make([]int64, len(latencyBounds)+1),
+	}
+}
+
+func (m *metricsState) request(endpoint string) {
+	m.mu.Lock()
+	m.requests[endpoint]++
+	m.mu.Unlock()
+}
+
+func (m *metricsState) response(code int, elapsed time.Duration) {
+	sec := elapsed.Seconds()
+	i := sort.SearchFloat64s(latencyBounds, sec)
+	m.mu.Lock()
+	m.responses[code]++
+	m.buckets[i]++
+	m.sumNs += int64(elapsed)
+	m.count++
+	m.mu.Unlock()
+}
+
+func (m *metricsState) cache(hit bool) {
+	m.mu.Lock()
+	if hit {
+		m.hits++
+	} else {
+		m.misses++
+	}
+	m.mu.Unlock()
+}
+
+func (m *metricsState) droppedRequest() {
+	m.mu.Lock()
+	m.shed++
+	m.mu.Unlock()
+}
+
+// render writes the counters in Prometheus text exposition format.
+func (m *metricsState) render() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var b strings.Builder
+	b.WriteString("# HELP nisqd_requests_total Requests received, by endpoint.\n")
+	b.WriteString("# TYPE nisqd_requests_total counter\n")
+	for _, ep := range sortedKeys(m.requests) {
+		fmt.Fprintf(&b, "nisqd_requests_total{endpoint=%q} %d\n", ep, m.requests[ep])
+	}
+	b.WriteString("# HELP nisqd_responses_total Responses sent, by status code.\n")
+	b.WriteString("# TYPE nisqd_responses_total counter\n")
+	codes := make([]int, 0, len(m.responses))
+	for c := range m.responses {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	for _, c := range codes {
+		fmt.Fprintf(&b, "nisqd_responses_total{code=\"%d\"} %d\n", c, m.responses[c])
+	}
+	b.WriteString("# HELP nisqd_load_shed_total Requests refused with 429 by the concurrency limiter.\n")
+	b.WriteString("# TYPE nisqd_load_shed_total counter\n")
+	fmt.Fprintf(&b, "nisqd_load_shed_total %d\n", m.shed)
+	b.WriteString("# HELP nisqd_cache_hits_total Response-cache hits.\n")
+	b.WriteString("# TYPE nisqd_cache_hits_total counter\n")
+	fmt.Fprintf(&b, "nisqd_cache_hits_total %d\n", m.hits)
+	b.WriteString("# HELP nisqd_cache_misses_total Response-cache misses.\n")
+	b.WriteString("# TYPE nisqd_cache_misses_total counter\n")
+	fmt.Fprintf(&b, "nisqd_cache_misses_total %d\n", m.misses)
+	b.WriteString("# HELP nisqd_in_flight Requests currently being served.\n")
+	b.WriteString("# TYPE nisqd_in_flight gauge\n")
+	fmt.Fprintf(&b, "nisqd_in_flight %d\n", m.inFlight.Load())
+	b.WriteString("# HELP nisqd_request_duration_seconds Request latency histogram.\n")
+	b.WriteString("# TYPE nisqd_request_duration_seconds histogram\n")
+	cum := int64(0)
+	for i, bound := range latencyBounds {
+		cum += m.buckets[i]
+		fmt.Fprintf(&b, "nisqd_request_duration_seconds_bucket{le=\"%g\"} %d\n", bound, cum)
+	}
+	cum += m.buckets[len(latencyBounds)]
+	fmt.Fprintf(&b, "nisqd_request_duration_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(&b, "nisqd_request_duration_seconds_sum %g\n", float64(m.sumNs)/1e9)
+	fmt.Fprintf(&b, "nisqd_request_duration_seconds_count %d\n", m.count)
+	return b.String()
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

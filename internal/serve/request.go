@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+
+	"vaq/internal/circuit"
+	"vaq/internal/cliutil"
+	"vaq/internal/core"
+	"vaq/internal/qasm"
+	"vaq/internal/workloads"
+)
+
+// Request-side limits. Oversized inputs are rejected at the decoder, so
+// a single request can never make the daemon allocate unbounded memory.
+const (
+	// MaxQASMBytes bounds an inline OpenQASM program.
+	MaxQASMBytes = 256 << 10
+	// MaxBatchItems bounds one /v1/batch fan-out.
+	MaxBatchItems = 256
+)
+
+// Defaults applied by normalize when a request omits a field; they
+// mirror cmd/nisqc's flag defaults so an empty request means the same
+// thing in both front-ends.
+const (
+	DefaultPolicy = "vqa+vqm"
+	DefaultDevice = "q20"
+	DefaultSeed   = 2019
+	DefaultTrials = 100000
+)
+
+// CompileRequest is the body of POST /v1/compile and /v1/estimate, and
+// each element of a /v1/batch request. Exactly one of Workload and QASM
+// must be set.
+type CompileRequest struct {
+	// Workload names a built-in circuit (see workloads.ByName).
+	Workload string `json:"workload,omitempty"`
+	// QASM is an inline OpenQASM 2.0 program.
+	QASM string `json:"qasm,omitempty"`
+	// Policy is a compilation policy name (default vqa+vqm).
+	Policy string `json:"policy,omitempty"`
+	// Device names a registered device model (default q20).
+	Device string `json:"device,omitempty"`
+	// Seed drives Native's randomized mapping and the Monte-Carlo
+	// streams (default 2019). Note the daemon's built-in q20/q16 models
+	// are generated from the daemon's -seed at startup, not per request.
+	Seed *int64 `json:"seed,omitempty"`
+	// Trials is the Monte-Carlo budget (default 100000, capped by the
+	// server's -trials flag).
+	Trials int `json:"trials,omitempty"`
+	// Optimize runs the transpile passes before mapping.
+	Optimize bool `json:"optimize,omitempty"`
+	// MonteCarlo toggles the Monte-Carlo estimate on /v1/estimate
+	// (ignored by /v1/compile, which always runs it, mirroring nisqc).
+	MonteCarlo bool `json:"monte_carlo,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/batch.
+type BatchRequest struct {
+	Items []CompileRequest `json:"items"`
+}
+
+// ErrBadRequest tags validation failures so handlers can map them to
+// HTTP 400 while other failures stay 500.
+var ErrBadRequest = errors.New("bad request")
+
+func badReqf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadRequest, fmt.Sprintf(format, args...))
+}
+
+// DecodeCompileRequest parses and validates one compile/estimate
+// request body: unknown fields, trailing garbage, missing or duplicate
+// program sources, oversized programs, unknown policies, and
+// out-of-range trial budgets are all rejected here, before any
+// compilation work is admitted. maxTrials is the server's per-request
+// cap (<= 0 means cliutil.MaxTrials).
+func DecodeCompileRequest(data []byte, maxTrials int) (*CompileRequest, error) {
+	var req CompileRequest
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, badReqf("decode: %v", err)
+	}
+	if dec.More() {
+		return nil, badReqf("trailing data after request object")
+	}
+	if err := req.validate(maxTrials); err != nil {
+		return nil, err
+	}
+	req.normalize()
+	return &req, nil
+}
+
+// DecodeBatchRequest parses and validates a /v1/batch body. Item-level
+// validation is the same as DecodeCompileRequest's, with the item index
+// in the error message.
+func DecodeBatchRequest(data []byte, maxTrials int) (*BatchRequest, error) {
+	var req BatchRequest
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, badReqf("decode: %v", err)
+	}
+	if dec.More() {
+		return nil, badReqf("trailing data after request object")
+	}
+	if len(req.Items) == 0 {
+		return nil, badReqf("batch has no items")
+	}
+	if len(req.Items) > MaxBatchItems {
+		return nil, badReqf("batch has %d items (max %d)", len(req.Items), MaxBatchItems)
+	}
+	for i := range req.Items {
+		if err := req.Items[i].validate(maxTrials); err != nil {
+			return nil, fmt.Errorf("item %d: %w", i, err)
+		}
+		req.Items[i].normalize()
+	}
+	return &req, nil
+}
+
+func (r *CompileRequest) validate(maxTrials int) error {
+	switch {
+	case r.Workload != "" && r.QASM != "":
+		return badReqf("specify either workload or qasm, not both")
+	case r.Workload == "" && r.QASM == "":
+		return badReqf("specify workload or qasm")
+	}
+	if len(r.QASM) > MaxQASMBytes {
+		return badReqf("qasm program is %d bytes (max %d)", len(r.QASM), MaxQASMBytes)
+	}
+	if r.Policy != "" {
+		if _, ok := core.PolicyByName(r.Policy); !ok {
+			return badReqf("unknown policy %q", r.Policy)
+		}
+	}
+	if maxTrials <= 0 || maxTrials > cliutil.MaxTrials {
+		maxTrials = cliutil.MaxTrials
+	}
+	if r.Trials < 0 {
+		return badReqf("trials must not be negative (got %d)", r.Trials)
+	}
+	if r.Trials > maxTrials {
+		return badReqf("trials %d over the server cap %d", r.Trials, maxTrials)
+	}
+	return nil
+}
+
+// normalize fills the documented defaults into omitted fields.
+func (r *CompileRequest) normalize() {
+	if r.Policy == "" {
+		r.Policy = DefaultPolicy
+	}
+	if r.Device == "" {
+		r.Device = DefaultDevice
+	}
+	if r.Seed == nil {
+		seed := int64(DefaultSeed)
+		r.Seed = &seed
+	}
+	if r.Trials == 0 {
+		r.Trials = DefaultTrials
+	}
+}
+
+// Program resolves the request's circuit: the named built-in workload
+// or the parsed inline QASM. Both paths bound their input (ByName caps
+// generator sizes, the QASM length was validated), so Program is safe
+// on untrusted requests.
+func (r *CompileRequest) Program() (*circuit.Circuit, error) {
+	if r.Workload != "" {
+		c, err := workloads.ByName(r.Workload)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		return c, nil
+	}
+	c, err := qasm.Parse(r.QASM)
+	if err != nil {
+		return nil, fmt.Errorf("%w: qasm: %v", ErrBadRequest, err)
+	}
+	return c, nil
+}
+
+// CacheKey is the response-cache identity of a request resolved against
+// a device: the device's calibration fingerprint, the logical circuit's
+// serialized hash, and every Spec field that can change the response.
+// Workers is deliberately absent — the pool guarantees bit-identical
+// outcomes at any worker count — and the endpoint is included because
+// /v1/compile and /v1/estimate render different responses for the same
+// spec.
+func CacheKey(endpoint string, deviceFP uint64, prog *circuit.Circuit, spec Spec) string {
+	h := fnv.New64a()
+	h.Write([]byte(qasm.Serialize(prog)))
+	return fmt.Sprintf("%s|%016x|%016x|%s|%d|%d|%t|%t",
+		endpoint, deviceFP, h.Sum64(), spec.Policy, spec.Seed, spec.Trials, spec.Optimize, spec.SkipMonteCarlo)
+}

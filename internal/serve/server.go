@@ -1,0 +1,612 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"regexp"
+	"sort"
+	"sync"
+	"time"
+
+	"vaq/internal/calib"
+	"vaq/internal/circuit"
+	"vaq/internal/device"
+	"vaq/internal/parallel"
+)
+
+// Config tunes a Server. The zero value is usable: withDefaults fills
+// every field with the production defaults listed on it.
+type Config struct {
+	// Seed generates the built-in q20/q16 synthetic calibration
+	// archives at startup (default 2019, matching nisqc's flag).
+	Seed int64
+	// MaxTrials caps the per-request Monte-Carlo budget (default
+	// 1000000, the paper's full budget).
+	MaxTrials int
+	// Workers bounds the goroutines per Monte-Carlo estimate and per
+	// batch fan-out (0: one per CPU, <0: serial); outcomes are
+	// bit-identical at any setting.
+	Workers int
+	// MaxInFlight is the concurrency limit beyond which requests are
+	// shed with 429 instead of queued (default 64).
+	MaxInFlight int
+	// RequestTimeout is the per-request context deadline (default 60s).
+	// The pipeline checks it between stages (decode, compile, estimate)
+	// and responds 503 when exceeded.
+	RequestTimeout time.Duration
+	// CacheEntries bounds the LRU response cache (default 512; 0
+	// disables response caching, useful in benchmarks).
+	CacheEntries int
+	// MaxBodyBytes caps a request body (default 1 MiB — calibration
+	// archives are the largest legitimate payload).
+	MaxBodyBytes int64
+	// MaxDevices caps the registry of uploaded calibrations (default
+	// 64).
+	MaxDevices int
+	// DrainTimeout bounds graceful shutdown: how long Serve waits for
+	// in-flight requests after its context is cancelled (default 30s).
+	DrainTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = DefaultSeed
+	}
+	if c.MaxTrials <= 0 {
+		c.MaxTrials = 1000000
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.CacheEntries < 0 {
+		c.CacheEntries = 0
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxDevices <= 0 {
+		c.MaxDevices = 64
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Server is the nisqd service: an http.Handler exposing the
+// compile-and-estimate API over a registry of device models, with a
+// semaphore concurrency limiter, per-request deadlines, an LRU response
+// cache and text-format metrics. Construct with New; a Server is safe
+// for concurrent use.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	sem   chan struct{}
+	cache *lruCache
+	met   *metricsState
+
+	mu      sync.RWMutex
+	devices map[string]*device.Device
+}
+
+// New builds a Server with the built-in device models (q20 and q16
+// generated from cfg.Seed, q5 from the Tenerife snapshot) already
+// registered.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+		cache:   newLRUCache(cfg.CacheEntries),
+		met:     newMetricsState(),
+		devices: make(map[string]*device.Device),
+	}
+	q20 := calib.Generate(calib.DefaultQ20Config(cfg.Seed))
+	s.devices["q20"] = device.MustNew(q20.Topo, q20.MustMean())
+	q16 := calib.Generate(calib.DefaultQ16Config(cfg.Seed))
+	s.devices["q16"] = device.MustNew(q16.Topo, q16.MustMean())
+	q5 := calib.TenerifeSnapshot()
+	s.devices["q5"] = device.MustNew(q5.Topo, q5)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/compile", s.limited("/v1/compile", s.handleCompile))
+	mux.HandleFunc("POST /v1/estimate", s.limited("/v1/estimate", s.handleEstimate))
+	mux.HandleFunc("POST /v1/batch", s.limited("/v1/batch", s.handleBatch))
+	mux.HandleFunc("POST /v1/calibration", s.limited("/v1/calibration", s.handleCalibration))
+	mux.HandleFunc("GET /v1/devices", s.instrumented("/v1/devices", s.handleDevices))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the daemon's routing table as an http.Handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on l until ctx is cancelled, then shuts
+// down gracefully: the listener closes (new requests are refused), and
+// requests already in flight get up to DrainTimeout to complete. A nil
+// return means a clean drain.
+func (s *Server) Serve(ctx context.Context, l net.Listener) error {
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	err := hs.Shutdown(dctx)
+	<-errc // always http.ErrServerClosed after Shutdown
+	return err
+}
+
+// statusWriter records the status code a handler wrote, for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrumented wraps a handler with request/response/latency metrics.
+func (s *Server) instrumented(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.met.request(endpoint)
+		s.met.inFlight.Add(1)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		s.met.inFlight.Add(-1)
+		s.met.response(sw.code, time.Since(start))
+	}
+}
+
+// limited adds the production posture to a compute endpoint: the
+// semaphore concurrency limiter (full ⇒ immediate 429, the request is
+// never queued), the per-request deadline, and the body-size cap — plus
+// the instrumentation.
+func (s *Server) limited(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return s.instrumented(endpoint, func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			s.met.droppedRequest()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "server at capacity, retry later")
+			return
+		}
+		defer func() { <-s.sem }()
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		h(w, r)
+	})
+}
+
+// errorBody is the JSON error envelope every non-2xx response carries.
+type errorBody struct {
+	Error struct {
+		Status  int    `json:"status"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	var body errorBody
+	body.Error.Status = status
+	body.Error.Message = msg
+	writeJSON(w, status, body)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.MarshalIndent(v, "", " ")
+	if err != nil {
+		http.Error(w, "encoding failure", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(data, '\n'))
+}
+
+// errorStatus maps a pipeline error to its HTTP status.
+func errorStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, errUnknownDevice):
+		return http.StatusNotFound
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+var errUnknownDevice = errors.New("unknown device")
+
+// lookupDevice resolves a registered device name.
+func (s *Server) lookupDevice(name string) (*device.Device, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.devices[name]
+	if !ok {
+		names := make([]string, 0, len(s.devices))
+		for n := range s.devices {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return nil, fmt.Errorf("%w %q (registered: %v)", errUnknownDevice, name, names)
+	}
+	return d, nil
+}
+
+// readBody drains a capped request body.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body over %d bytes", tooLarge.Limit))
+		} else {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("read body: %v", err))
+		}
+		return nil, false
+	}
+	return data, true
+}
+
+// checkFits rejects programs larger than the target device up front, as
+// a client error — core.Compile would fail anyway, but deeper in, where
+// the failure would read as a server fault.
+func checkFits(d *device.Device, prog *circuit.Circuit) error {
+	if prog.NumQubits > d.NumQubits() {
+		return badReqf("program needs %d qubits, device %q has %d",
+			prog.NumQubits, d.Topology().Name, d.NumQubits())
+	}
+	return nil
+}
+
+// spec converts a normalized request into the cacheable pipeline spec.
+func (s *Server) spec(req *CompileRequest, skipMC bool) Spec {
+	return Spec{
+		Policy:         req.Policy,
+		Seed:           *req.Seed,
+		Trials:         req.Trials,
+		Workers:        s.cfg.Workers,
+		Optimize:       req.Optimize,
+		SkipMonteCarlo: skipMC,
+	}
+}
+
+// compileCached runs one compile/estimate spec against the response
+// cache: a hit returns the previously marshaled bytes, a miss runs the
+// pipeline and stores the response. The bool reports whether the result
+// was served from cache.
+func (s *Server) compileCached(ctx context.Context, endpoint string, req *CompileRequest, skipMC bool) ([]byte, bool, error) {
+	prog, err := req.Program()
+	if err != nil {
+		return nil, false, err
+	}
+	d, err := s.lookupDevice(req.Device)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := checkFits(d, prog); err != nil {
+		return nil, false, err
+	}
+	spec := s.spec(req, skipMC)
+	key := CacheKey(endpoint, d.Fingerprint(), prog, spec)
+	if body, ok := s.cache.get(key); ok {
+		s.met.cache(true)
+		return body, true, nil
+	}
+	s.met.cache(false)
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	res, err := Run(d, prog, spec)
+	if err != nil {
+		return nil, false, err
+	}
+	body, err := json.MarshalIndent(res, "", " ")
+	if err != nil {
+		return nil, false, err
+	}
+	body = append(body, '\n')
+	s.cache.put(key, body)
+	return body, false, nil
+}
+
+// writeCachedResult writes a compileCached response; the cache
+// disposition travels in a header so hot and cold bodies stay
+// bit-identical.
+func writeCachedResult(w http.ResponseWriter, body []byte, hit bool) {
+	w.Header().Set("Content-Type", "application/json")
+	if hit {
+		w.Header().Set("X-Nisqd-Cache", "hit")
+	} else {
+		w.Header().Set("X-Nisqd-Cache", "miss")
+	}
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	data, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	req, err := DecodeCompileRequest(data, s.cfg.MaxTrials)
+	if err != nil {
+		writeError(w, errorStatus(err), err.Error())
+		return
+	}
+	body, hit, err := s.compileCached(r.Context(), "/v1/compile", req, false)
+	if err != nil {
+		writeError(w, errorStatus(err), err.Error())
+		return
+	}
+	writeCachedResult(w, body, hit)
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	data, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	req, err := DecodeCompileRequest(data, s.cfg.MaxTrials)
+	if err != nil {
+		writeError(w, errorStatus(err), err.Error())
+		return
+	}
+	body, hit, err := s.compileCached(r.Context(), "/v1/estimate", req, !req.MonteCarlo)
+	if err != nil {
+		writeError(w, errorStatus(err), err.Error())
+		return
+	}
+	writeCachedResult(w, body, hit)
+}
+
+// batchItem is one element of a /v1/batch response: exactly one of
+// Result and Error is set. A failing item never hides its siblings'
+// results — the fan-out runs under parallel.Collect, which quarantines
+// errors and panics per item.
+type batchItem struct {
+	Result *Result         `json:"result,omitempty"`
+	Error  *batchItemError `json:"error,omitempty"`
+}
+
+type batchItemError struct {
+	Index   int    `json:"index"`
+	Status  int    `json:"status"`
+	Message string `json:"message"`
+}
+
+type batchResponse struct {
+	Items []batchItem `json:"items"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	data, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	req, err := DecodeBatchRequest(data, s.cfg.MaxTrials)
+	if err != nil {
+		writeError(w, errorStatus(err), err.Error())
+		return
+	}
+	items := make([]batchItem, len(req.Items))
+	// The batch itself is the parallel axis, so each item's Monte-Carlo
+	// runs serial (Workers -1) — the pool guarantees the outcome is
+	// bit-identical either way, which is also why the cache key (shared
+	// with /v1/compile) ignores the worker count.
+	err = parallel.Collect(r.Context(), s.cfg.Workers, len(req.Items), func(i int) error {
+		item := req.Items[i]
+		prog, err := item.Program()
+		if err != nil {
+			return err
+		}
+		d, err := s.lookupDevice(item.Device)
+		if err != nil {
+			return err
+		}
+		if err := checkFits(d, prog); err != nil {
+			return err
+		}
+		spec := s.spec(&item, false)
+		spec.Workers = -1
+		cacheKey := CacheKey("/v1/compile", d.Fingerprint(), prog, spec)
+		if body, ok := s.cache.get(cacheKey); ok {
+			s.met.cache(true)
+			var res Result
+			if err := json.Unmarshal(body, &res); err == nil {
+				items[i].Result = &res
+				return nil
+			}
+		}
+		s.met.cache(false)
+		res, err := Run(d, prog, spec)
+		if err != nil {
+			return err
+		}
+		items[i].Result = res
+		if body, err := json.MarshalIndent(res, "", " "); err == nil {
+			s.cache.put(cacheKey, append(body, '\n'))
+		}
+		return nil
+	})
+	if err != nil {
+		// Collect returns every item failure joined; unpack them back
+		// to their indices as typed error entries.
+		for _, e := range unwrapJoined(err) {
+			var ie *parallel.Error
+			if errors.As(e, &ie) {
+				items[ie.Index].Error = &batchItemError{
+					Index:   ie.Index,
+					Status:  errorStatus(ie.Err),
+					Message: ie.Err.Error(),
+				}
+			}
+		}
+		// Items neither computed nor failed were skipped by
+		// cancellation.
+		for i := range items {
+			if items[i].Result == nil && items[i].Error == nil {
+				items[i].Error = &batchItemError{
+					Index:   i,
+					Status:  http.StatusServiceUnavailable,
+					Message: "cancelled before completion",
+				}
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, batchResponse{Items: items})
+}
+
+// unwrapJoined flattens an errors.Join tree one level.
+func unwrapJoined(err error) []error {
+	if joined, ok := err.(interface{ Unwrap() []error }); ok {
+		return joined.Unwrap()
+	}
+	return []error{err}
+}
+
+// calibrationResponse acknowledges a registered calibration archive.
+type calibrationResponse struct {
+	Device      DeviceInfo `json:"device"`
+	Snapshots   int        `json:"snapshots"`
+	Quarantined []string   `json:"quarantined,omitempty"`
+}
+
+var deviceNameRE = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9_-]{0,63}$`)
+
+func (s *Server) handleCalibration(w http.ResponseWriter, r *http.Request) {
+	data, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	name := r.URL.Query().Get("name")
+	if name != "" && !deviceNameRE.MatchString(name) {
+		writeError(w, http.StatusBadRequest, "device name must match [a-zA-Z0-9][a-zA-Z0-9_-]{0,63}")
+		return
+	}
+	arch, quarantined, err := calib.ReadJSONLenient(bytes.NewReader(data))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("calibration archive: %v", err))
+		return
+	}
+	mean, err := arch.Mean()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("calibration archive: %v", err))
+		return
+	}
+	d, err := device.New(arch.Topo, mean)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("calibration archive: %v", err))
+		return
+	}
+	if name == "" {
+		name = fmt.Sprintf("fp-%016x", d.Fingerprint())
+	}
+
+	s.mu.Lock()
+	if existing, ok := s.devices[name]; ok && existing.Fingerprint() != d.Fingerprint() {
+		s.mu.Unlock()
+		writeError(w, http.StatusConflict,
+			fmt.Sprintf("device %q already registered with a different calibration", name))
+		return
+	} else if !ok {
+		if len(s.devices) >= s.cfg.MaxDevices {
+			s.mu.Unlock()
+			writeError(w, http.StatusConflict,
+				fmt.Sprintf("device registry full (%d entries)", s.cfg.MaxDevices))
+			return
+		}
+		s.devices[name] = d
+	}
+	s.mu.Unlock()
+
+	resp := calibrationResponse{Device: Describe(d), Snapshots: len(arch.Snapshots)}
+	resp.Device.Name = name
+	for _, q := range quarantined {
+		resp.Quarantined = append(resp.Quarantined, q.Error())
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// devicesResponse lists the registered device models.
+type devicesResponse struct {
+	Devices []namedDevice `json:"devices"`
+}
+
+type namedDevice struct {
+	Name   string `json:"name"`
+	Model  string `json:"model"`
+	Qubits int    `json:"qubits"`
+	Links  int    `json:"links"`
+	// Fingerprint is the calibration digest responses and caches key
+	// on; two names with equal fingerprints are interchangeable.
+	Fingerprint string `json:"fingerprint"`
+}
+
+func (s *Server) handleDevices(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.devices))
+	for n := range s.devices {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	resp := devicesResponse{Devices: make([]namedDevice, 0, len(names))}
+	for _, n := range names {
+		d := s.devices[n]
+		resp.Devices = append(resp.Devices, namedDevice{
+			Name:        n,
+			Model:       d.Topology().Name,
+			Qubits:      d.NumQubits(),
+			Links:       d.Topology().NumLinks(),
+			Fingerprint: fmt.Sprintf("%016x", d.Fingerprint()),
+		})
+	}
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	n := len(s.devices)
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "devices": n})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	io.WriteString(w, s.met.render())
+}

@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// slowEstimate is a request whose Monte-Carlo run takes long enough
+// (hundreds of ms) that the test can observe it in flight.
+const slowEstimate = `{"workload":"bv-10","policy":"vqm","trials":5000000,"monte_carlo":true}`
+
+// waitInFlight polls the in-flight gauge until it reaches want.
+func waitInFlight(t *testing.T, s *Server, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for s.met.inFlight.Load() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("in-flight never reached %d (at %d)", want, s.met.inFlight.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestGracefulShutdown proves the drain contract: when Serve's context
+// is cancelled, the request already in flight completes with 200 while
+// new connections are refused, and Serve returns nil (clean drain).
+func TestGracefulShutdown(t *testing.T) {
+	cfg := testConfig()
+	cfg.DrainTimeout = 30 * time.Second
+	s := New(cfg)
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + l.Addr().String()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(ctx, l) }()
+
+	slowDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/estimate", "application/json", strings.NewReader(slowEstimate))
+		if err != nil {
+			slowDone <- err
+			return
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			slowDone <- fmt.Errorf("slow request: status %d: %s", resp.StatusCode, body)
+			return
+		}
+		slowDone <- nil
+	}()
+	waitInFlight(t, s, 1)
+
+	cancel() // begin graceful shutdown while the slow request is in flight
+
+	// The in-flight request must complete successfully.
+	if err := <-slowDone; err != nil {
+		t.Fatalf("in-flight request did not drain cleanly: %v", err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("Serve returned %v, want nil after clean drain", err)
+	}
+
+	// The listener is closed: new connections are refused.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("request after shutdown succeeded, want connection refused")
+	}
+}
+
+// TestSaturationSheds proves the limiter never queues: with capacity 1
+// occupied by a slow request, the next request is rejected immediately
+// with 429 and a Retry-After header.
+func TestSaturationSheds(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxInFlight = 1
+	s := New(cfg)
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + l.Addr().String()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(ctx, l) }()
+
+	slowDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/estimate", "application/json", strings.NewReader(slowEstimate))
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				err = fmt.Errorf("slow request: status %d", resp.StatusCode)
+			}
+		}
+		slowDone <- err
+	}()
+	waitInFlight(t, s, 1)
+
+	// The semaphore is full. A second request must be shed at once, not
+	// held until capacity frees up.
+	start := time.Now()
+	resp, err := http.Post(base+"/v1/compile", "application/json",
+		strings.NewReader(`{"workload":"bv-4","policy":"baseline","trials":1000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429; body: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Errorf("Retry-After = %q, want \"1\"", got)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("shed took %v; a full limiter must reject immediately", elapsed)
+	}
+	if !strings.Contains(string(body), "capacity") {
+		t.Errorf("429 body = %s, want capacity message", body)
+	}
+
+	if err := <-slowDone; err != nil {
+		t.Fatalf("slow request failed: %v", err)
+	}
+	cancel()
+	if err := <-serveErr; err != nil {
+		t.Fatalf("Serve returned %v, want nil", err)
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strconv"
+	"strings"
 
 	"vaq/internal/circuit"
 )
@@ -255,5 +257,59 @@ func TenQubitSuite() []Spec {
 		{"alu_10", "Quantum adder", ALU()},
 		{"bv_10", "Bernstein-Vazirani", BV(10)},
 		{"qft_10", "Quantum Fourier Transform", QFT(10)},
+	}
+}
+
+// MaxNamedQubits bounds the size parameter a ByName request can ask for.
+// ByName serves untrusted input (CLI flags, the nisqd HTTP API), where
+// "bv-999999999" must be a clean error, not a giant allocation.
+const MaxNamedQubits = 4096
+
+// ByName resolves a CLI- or API-style workload name: alu, triswap,
+// rnd-SD, rnd-LD, bv-N, qft-N, ghz-N (case-insensitive). Unlike the
+// generator functions, ByName never panics: malformed names, sizes below
+// a generator's minimum, and sizes above MaxNamedQubits all return
+// errors.
+func ByName(name string) (*circuit.Circuit, error) {
+	lower := strings.ToLower(name)
+	sized := func(prefix string, min int) (int, error) {
+		n, err := strconv.Atoi(lower[len(prefix):])
+		if err != nil {
+			return 0, fmt.Errorf("bad workload %q", name)
+		}
+		if n < min || n > MaxNamedQubits {
+			return 0, fmt.Errorf("workload %q: size must be in [%d, %d]", name, min, MaxNamedQubits)
+		}
+		return n, nil
+	}
+	switch {
+	case lower == "alu":
+		return ALU(), nil
+	case lower == "triswap":
+		return TriSwap(), nil
+	case lower == "rnd-sd":
+		return RandSD(1), nil
+	case lower == "rnd-ld":
+		return RandLD(1), nil
+	case strings.HasPrefix(lower, "bv-"):
+		n, err := sized("bv-", 2)
+		if err != nil {
+			return nil, err
+		}
+		return BV(n), nil
+	case strings.HasPrefix(lower, "qft-"):
+		n, err := sized("qft-", 1)
+		if err != nil {
+			return nil, err
+		}
+		return QFT(n), nil
+	case strings.HasPrefix(lower, "ghz-"):
+		n, err := sized("ghz-", 2)
+		if err != nil {
+			return nil, err
+		}
+		return GHZ(n), nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q", name)
 	}
 }

@@ -13,11 +13,25 @@ go test -race "$@" ./...
 # Benchmark smoke: one iteration of every tracked benchmark, so a change
 # that breaks a benchmark body (rather than its performance) fails the
 # gate instead of surfacing at the next scripts/bench.sh run.
-go test -run '^$' -bench 'MonteCarlo|CompilePipeline|Route|NewCosts|SearchSwaps' -benchtime=1x ./...
-# Fuzz smoke: a short native-fuzzing burst on the two untrusted-input
-# parsers (QASM source, calibration archives). The committed
-# testdata/fuzz corpora replay on every plain `go test` run; this burst
-# additionally mutates for a few seconds so new crashes surface here
-# before they surface in a user's archive.
+go test -run '^$' -bench 'MonteCarlo|CompilePipeline|Route|NewCosts|SearchSwaps|ServeCompile' -benchtime=1x ./...
+# Fuzz smoke: a short native-fuzzing burst on the untrusted-input
+# parsers (QASM source, calibration archives, nisqd request bodies). The
+# committed testdata/fuzz corpora replay on every plain `go test` run;
+# this burst additionally mutates for a few seconds so new crashes
+# surface here before they surface in a user's archive or request.
 go test -run '^$' -fuzz FuzzParse -fuzztime 10s ./internal/qasm
 go test -run '^$' -fuzz FuzzReadJSON -fuzztime 10s ./internal/calib
+go test -run '^$' -fuzz FuzzCompileRequest -fuzztime 10s ./internal/serve
+# Coverage floor: total statement coverage must not regress below the
+# recorded baseline (88.6% at the floor's introduction, gated with a
+# small margin). Raise the floor when coverage improves; never lower it.
+COVER_FLOOR=85.0
+COVER_PROFILE="$(mktemp)"
+trap 'rm -f "$COVER_PROFILE"' EXIT
+go test -count=1 -coverprofile="$COVER_PROFILE" ./... > /dev/null
+go tool cover -func="$COVER_PROFILE" | awk -v floor="$COVER_FLOOR" '
+/^total:/ {
+	sub(/%/, "", $NF)
+	printf("total coverage %.1f%% (floor %.1f%%)\n", $NF, floor)
+	if ($NF + 0 < floor + 0) { print "FAIL: coverage below floor"; exit 1 }
+}'
