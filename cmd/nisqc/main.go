@@ -6,22 +6,33 @@
 //
 //	nisqc -workload bv-16 -policy vqa+vqm
 //	nisqc -qasm program.qasm -device q5 -policy baseline -verbose
+//	nisqc -workload qft-12 -portfolio 2
 //
 // Workload names: alu, bv-N, qft-N, rnd-SD, rnd-LD, ghz-N, triswap.
 // Policies: native, baseline, vqm, vqm-hop, vqa+vqm.
 // Devices: q20 (IBM-Q20 model, default), q5 (IBM-Q5 model).
+//
+// -portfolio N switches from single-policy compilation to speculative
+// portfolio compilation: every allocation × movement × optimizer
+// candidate — over the reference device plus the N most recent
+// calibration cycles (0: reference only) — compiles in parallel, is
+// ranked by analytic ESP with Monte-Carlo refinement of the leaders,
+// and the ranked table is printed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"text/tabwriter"
 	"time"
 
 	"vaq/internal/calib"
 	"vaq/internal/circuit"
 	"vaq/internal/cliutil"
 	"vaq/internal/device"
+	"vaq/internal/portfolio"
 	"vaq/internal/qasm"
 	"vaq/internal/schedule"
 	"vaq/internal/serve"
@@ -43,6 +54,7 @@ func main() {
 		outcomes = flag.Bool("outcomes", false, "run the iterative execution model and print the output log analysis (Clifford programs only)")
 		optimize = flag.Bool("O", false, "run the transpile optimizer (inverse cancellation, rotation merging) before mapping")
 		timeline = flag.Bool("timeline", false, "print the ASAP schedule as an ASCII Gantt chart")
+		portfN   = flag.Int("portfolio", -1, "portfolio-compile over the N most recent calibration cycles plus the reference device (0: reference only, <0: off) and print the ranked candidates")
 	)
 	flag.Parse()
 
@@ -58,6 +70,7 @@ func main() {
 		timelineRequested = true
 	}
 	simWorkers = *workers
+	portfolioCycles = *portfN
 	if err := run(*workload, *qasmPath, *policyN, *deviceN, *calibP, *seed, *trials, *verbose, *outcomes, *optimize); err != nil {
 		fmt.Fprintln(os.Stderr, "nisqc:", err)
 		os.Exit(1)
@@ -69,53 +82,107 @@ func run(workload, qasmPath, policyName, deviceName, calibPath string, seed int6
 	if err != nil {
 		return err
 	}
+	d, arch, err := loadDevice(deviceName, calibPath, seed)
+	if err != nil {
+		return err
+	}
+	if portfolioCycles >= 0 {
+		return portfolioAndReport(d, arch, prog, seed, mcTrials)
+	}
+	return compileAndReport(d, prog, policyName, seed, mcTrials, verbose, outcomes, optimize)
+}
 
-	var d *device.Device
+// loadDevice resolves -device/-calib into the device model plus its
+// calibration archive (the mean snapshot backs the device; the full
+// archive feeds -portfolio's calibration-cycle window).
+func loadDevice(deviceName, calibPath string, seed int64) (*device.Device, *calib.Archive, error) {
 	if calibPath != "" {
 		f, err := os.Open(calibPath)
 		if err != nil {
-			return err
+			return nil, nil, err
 		}
 		defer f.Close()
 		arch, quarantined, err := calib.ReadJSONLenient(f)
 		if err != nil {
-			return err
+			return nil, nil, err
 		}
 		for _, q := range quarantined {
 			fmt.Fprintln(os.Stderr, "nisqc: quarantined", q)
 		}
 		mean, err := arch.Mean()
 		if err != nil {
-			return err
+			return nil, nil, err
 		}
-		d, err = device.New(arch.Topo, mean)
+		d, err := device.New(arch.Topo, mean)
 		if err != nil {
-			return err
+			return nil, nil, err
 		}
-		return compileAndReport(d, prog, policyName, seed, mcTrials, verbose, outcomes, optimize)
+		return d, arch, nil
 	}
 	switch deviceName {
 	case "q20":
 		arch := calib.Generate(calib.DefaultQ20Config(seed))
-		d = device.MustNew(arch.Topo, arch.MustMean())
+		return device.MustNew(arch.Topo, arch.MustMean()), arch, nil
 	case "q16":
 		arch := calib.Generate(calib.DefaultQ16Config(seed))
-		d = device.MustNew(arch.Topo, arch.MustMean())
+		return device.MustNew(arch.Topo, arch.MustMean()), arch, nil
 	case "q5":
 		s := calib.TenerifeSnapshot()
-		d = device.MustNew(s.Topo, s)
+		arch := &calib.Archive{Topo: s.Topo, Snapshots: []*calib.Snapshot{s}}
+		return device.MustNew(s.Topo, s), arch, nil
 	default:
-		return fmt.Errorf("unknown device %q (want q20, q16 or q5)", deviceName)
+		return nil, nil, fmt.Errorf("unknown device %q (want q20, q16 or q5)", deviceName)
 	}
-	return compileAndReport(d, prog, policyName, seed, mcTrials, verbose, outcomes, optimize)
 }
 
-// timelineRequested and simWorkers mirror the -timeline and -workers
-// flags (kept package-level so the testable run() signature stays stable).
+// timelineRequested, simWorkers, and portfolioCycles mirror the
+// -timeline, -workers, and -portfolio flags (kept package-level so the
+// testable run() signature stays stable).
 var (
 	timelineRequested bool
 	simWorkers        int
+	portfolioCycles   = -1
 )
+
+// portfolioAndReport runs the speculative portfolio compiler and prints
+// the ranked candidate table.
+func portfolioAndReport(d *device.Device, arch *calib.Archive, prog *circuit.Circuit, seed int64, mcTrials int) error {
+	cycles := portfolioCycles
+	if cycles == 0 {
+		cycles = -1 // reference device only
+	}
+	res, err := portfolio.Run(context.Background(), d, arch, prog, portfolio.Spec{
+		RootSeed: seed,
+		Cycles:   cycles,
+		Trials:   mcTrials,
+		Workers:  simWorkers,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("portfolio   %s on %s (%d candidates ranked, %d failed, root seed %d)\n",
+		prog.Name, d.Topology().Name, len(res.Candidates), len(res.Failures), res.RootSeed)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "rank\tcandidate\tswaps\tinst\tdepth\tanalytic PST\tMC PST")
+	for _, c := range res.Candidates {
+		mc := "-"
+		if c.MCResult != nil {
+			mc = fmt.Sprintf("%.4f ± %.4f", c.MCResult.PST, c.MCResult.StdErr)
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%d\t%.4f\t%s\n",
+			c.Rank, c.Label(), c.Swaps, c.Instructions, c.Depth, c.AnalyticPST, mc)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, f := range res.Failures {
+		fmt.Fprintf(os.Stderr, "nisqc: candidate %s failed: %s\n", f.Label(), f.Reason)
+	}
+	if best := res.Best(); best != nil {
+		fmt.Printf("best        %s (analytic PST %.4f)\n", best.Label(), best.AnalyticPST)
+	}
+	return nil
+}
 
 // compileAndReport is the back half of the pipeline once a device model
 // exists: compile, verify, simulate, print. The compile-verify-estimate

@@ -10,6 +10,7 @@
 //	POST /v1/compile      compile a workload/QASM program and estimate its PST
 //	POST /v1/estimate     analytic (and optionally Monte-Carlo) PST only
 //	POST /v1/batch        fan out many compile requests with per-item fault isolation
+//	POST /v1/portfolio    speculatively compile a policy×cycle candidate grid, ranked by ESP
 //	POST /v1/calibration  register a calgen-style JSON archive as a new device
 //	GET  /v1/devices      list registered device models
 //	GET  /healthz         liveness probe

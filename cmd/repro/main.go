@@ -14,7 +14,7 @@
 //
 // Usage:
 //
-//	repro [-experiment all|fig5|fig6|fig7|fig8|fig9|table1|fig12|fig13|fig14|table2|table3|fig16]
+//	repro [-experiment all|fig5|fig6|fig7|fig8|fig9|table1|fig12|fig13|fig14|table2|table3|portfolio|fig16]
 //	      [-seed N] [-trials N] [-full] [-workers N] [-format text|csv|json]
 //	      [-checkpoint dir] [-resume] [-timeout 10m] [-calib archive.json]
 //	      [-cpuprofile f.pprof] [-memprofile f.pprof]
@@ -291,6 +291,16 @@ func experimentList() []experiment {
 		{"table3", func(r *experiments.Runner) (rendering, error) {
 			res, err := experiments.Table3IBMQ5Ctx(r)
 			return rendering{table: experiments.Table3Table(res)}, err
+		}},
+		{"portfolio", func(r *experiments.Runner) (rendering, error) {
+			rows, err := experiments.PortfolioPoliciesCtx(r)
+			labels := make([]string, len(rows))
+			vals := make([]float64, len(rows))
+			for i, row := range rows {
+				labels[i], vals[i] = row.Name, row.Headroom
+			}
+			chart := report.Bars("portfolio PST over best fixed policy (| = parity)", labels, vals, 50, 1)
+			return rendering{table: experiments.PortfolioTable(rows), chart: chart}, err
 		}},
 		{"fig16", func(r *experiments.Runner) (rendering, error) {
 			rows, err := experiments.Fig16PartitioningCtx(r)

@@ -125,7 +125,7 @@ func Compile(d *device.Device, prog *circuit.Circuit, opts Options) (*Compiled, 
 	if err != nil {
 		return nil, err
 	}
-	return compileWith(d, prog, opts, allocator, router)
+	return CompileWith(d, prog, opts, allocator, router)
 }
 
 // compileBestCandidate compiles the variation-aware policies. Each policy
@@ -169,7 +169,7 @@ func compileBestCandidate(d *device.Device, prog *circuit.Circuit, opts Options)
 	var best *Compiled
 	bestScore := -1.0
 	for _, cand := range cands {
-		c, err := compileWith(d, prog, opts, cand.a, cand.r)
+		c, err := CompileWith(d, prog, opts, cand.a, cand.r)
 		if err != nil {
 			return nil, err
 		}
@@ -181,7 +181,17 @@ func compileBestCandidate(d *device.Device, prog *circuit.Circuit, opts Options)
 	return best, nil
 }
 
-func compileWith(d *device.Device, prog *circuit.Circuit, opts Options, allocator alloc.Policy, router route.Router) (*Compiled, error) {
+// CompileWith maps and routes prog with an explicit (allocator, router)
+// pair, bypassing the fixed policy definitions. It is the primitive the
+// named policies are assembled from, exported for callers — the
+// portfolio compiler — that enumerate their own candidate grids.
+// opts.Policy only labels the result; opts.Optimize is NOT applied here
+// (grid generators decide per candidate whether to pre-optimize).
+//
+// Stateful allocators (alloc.Random) must not be shared across
+// concurrent CompileWith calls; construct one per call (see the
+// concurrency contract on alloc.Policy).
+func CompileWith(d *device.Device, prog *circuit.Circuit, opts Options, allocator alloc.Policy, router route.Router) (*Compiled, error) {
 	m, err := allocator.Allocate(d, prog)
 	if err != nil {
 		return nil, fmt.Errorf("core(%s): %w", opts.Policy, err)

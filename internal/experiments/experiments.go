@@ -127,6 +127,22 @@ func (c Config) pst(d *device.Device, prog *circuit.Circuit, policy core.Policy,
 
 const minMCSuccesses = 50
 
+// measure estimates the PST of an already-compiled physical circuit
+// under the exact protocol of cfg.pst — same simulator seed derivation,
+// same analytic fallback — so a circuit measured here compares exactly
+// with one measured through cfg.pst. The portfolio experiment relies on
+// this: identical circuits must yield identical PSTs for its ≥-fixed
+// guarantee to hold.
+func (c Config) measure(d *device.Device, phys *circuit.Circuit, trials int, seed int64) float64 {
+	scfg := sim.Config{Trials: trials, Seed: seed + 7777, Workers: c.Workers}
+	prep := sim.Prepare(d, phys, scfg)
+	out := prep.Run(scfg)
+	if out.Successes < minMCSuccesses {
+		return prep.AnalyticPST()
+	}
+	return out.PST
+}
+
 func (c Config) pstWith(d *device.Device, prog *circuit.Circuit, copts core.Options, scfg sim.Config) (float64, *core.Compiled, error) {
 	if scfg.Workers == 0 {
 		scfg.Workers = c.Workers

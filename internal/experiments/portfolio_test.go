@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"vaq/internal/portfolio"
+)
+
+// TestPortfolioBeatsFixedPolicies pins the experiment's acceptance
+// criterion: the best-of-portfolio PST is ≥ every fixed policy on every
+// Table 1 workload, and strictly better on at least one. The ≥ half is
+// guaranteed by construction (the grid supersets the fixed policies and
+// the re-measurement protocol matches cfg.pst exactly), so a violation
+// means the measurement protocols have drifted apart.
+func TestPortfolioBeatsFixedPolicies(t *testing.T) {
+	rows, err := PortfolioPolicies(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(rows))
+	}
+	const eps = 1e-12
+	strictly := 0
+	for _, r := range rows {
+		for _, fixed := range []struct {
+			name string
+			pst  float64
+		}{
+			{"baseline", r.BaselinePST},
+			{"vqm", r.VQMPST},
+			{"vqm-hop", r.VQMHopPST},
+			{"vqa+vqm", r.VQAVQMPST},
+		} {
+			if r.PortfolioPST < fixed.pst-eps {
+				t.Errorf("%s: portfolio PST %v below %s PST %v",
+					r.Name, r.PortfolioPST, fixed.name, fixed.pst)
+			}
+		}
+		if r.Headroom < 1-eps {
+			t.Errorf("%s: headroom %v < 1", r.Name, r.Headroom)
+		}
+		if r.Headroom > 1+eps {
+			strictly++
+		}
+		if r.Winner == "" {
+			t.Errorf("%s: empty winner label", r.Name)
+		}
+	}
+	if strictly == 0 {
+		t.Error("portfolio never strictly beat the best fixed policy; expected headroom > 1 on at least one workload")
+	}
+	if s := PortfolioTable(rows).String(); !strings.Contains(s, "headroom") {
+		t.Error("table rendering broken")
+	}
+}
+
+// TestFixedEquivalentCoverage pins fixedEquivalent to the mean-cycle,
+// non-optimized, deterministic-allocator grid points — exactly the
+// candidate sets core.Compile's fixed policies select from.
+func TestFixedEquivalentCoverage(t *testing.T) {
+	cases := []struct {
+		c    portfolio.CandidateSpec
+		want bool
+	}{
+		{portfolio.CandidateSpec{Alloc: portfolio.AllocGreedy, Mover: portfolio.MoverBaseline, Cycle: portfolio.MeanCycle}, true},
+		{portfolio.CandidateSpec{Alloc: portfolio.AllocVQA, Mover: portfolio.MoverVQM, Cycle: portfolio.MeanCycle}, true},
+		{portfolio.CandidateSpec{Alloc: portfolio.AllocVQA, Mover: portfolio.MoverVQMHop, Cycle: portfolio.MeanCycle}, true},
+		{portfolio.CandidateSpec{Alloc: portfolio.AllocGreedy, Mover: portfolio.MoverBaseline, Cycle: portfolio.MeanCycle, Optimize: true}, false},
+		{portfolio.CandidateSpec{Alloc: portfolio.AllocRandom, Mover: portfolio.MoverBaseline, Cycle: portfolio.MeanCycle}, false},
+		{portfolio.CandidateSpec{Alloc: portfolio.AllocGreedy, Mover: portfolio.MoverBaseline, Cycle: 3}, false},
+	}
+	for _, tc := range cases {
+		if got := fixedEquivalent(tc.c); got != tc.want {
+			t.Errorf("fixedEquivalent(%s) = %v, want %v", tc.c.Label(), got, tc.want)
+		}
+	}
+}

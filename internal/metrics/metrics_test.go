@@ -52,6 +52,28 @@ func TestCombinedSTPT(t *testing.T) {
 	}
 }
 
+func TestPSTEdges(t *testing.T) {
+	if got := PST(0, 100); got != 0 {
+		t.Fatalf("PST with zero successes = %v, want 0", got)
+	}
+	if got := PST(100, 100); got != 1 {
+		t.Fatalf("PST at certainty = %v, want 1", got)
+	}
+	if got := PST(5, -1); got != 0 {
+		t.Fatalf("PST with negative trials = %v, want 0", got)
+	}
+}
+
+func TestCombinedSTPTEdges(t *testing.T) {
+	if got := CombinedSTPT(nil, time.Millisecond); got != 0 {
+		t.Fatalf("CombinedSTPT(nil) = %v, want 0", got)
+	}
+	// One copy degenerates to plain STPT.
+	if got, want := CombinedSTPT([]float64{0.5}, time.Millisecond), STPT(0.5, time.Millisecond); got != want {
+		t.Fatalf("single-copy CombinedSTPT = %v, want %v", got, want)
+	}
+}
+
 func TestGeoMean(t *testing.T) {
 	if got := GeoMean([]float64{1.22, 1.09, 1.90, 1.35}); math.Abs(got-1.358) > 0.01 {
 		t.Fatalf("GeoMean = %v, want ≈1.36 (the paper's Table 3 geomean)", got)
@@ -88,6 +110,13 @@ func TestMinMaxMean(t *testing.T) {
 	lo, hi := MinMax([]float64{3, 1, 2})
 	if lo != 1 || hi != 3 {
 		t.Fatalf("MinMax = %v,%v", lo, hi)
+	}
+	// Ascending input exercises the max-update branch.
+	if lo, hi := MinMax([]float64{1, 2, 3}); lo != 1 || hi != 3 {
+		t.Fatalf("MinMax ascending = %v,%v", lo, hi)
+	}
+	if lo, hi := MinMax([]float64{7}); lo != 7 || hi != 7 {
+		t.Fatalf("MinMax singleton = %v,%v", lo, hi)
 	}
 	if lo, hi := MinMax(nil); lo != 0 || hi != 0 {
 		t.Fatal("MinMax(nil) should be 0,0")

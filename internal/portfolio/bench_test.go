@@ -1,0 +1,35 @@
+package portfolio
+
+import (
+	"context"
+	"testing"
+
+	"vaq/internal/workloads"
+)
+
+// BenchmarkPortfolio measures the speculative compilation fan-out:
+// "serial" forces one worker, "parallel" uses one per CPU. Both rank
+// the identical candidate grid (the determinism tests pin that), so the
+// candidates/sec custom metric exposes the parallel scaling directly.
+func BenchmarkPortfolio(b *testing.B) {
+	d, arch := testFixture(b)
+	prog := workloads.BV(8)
+	bench := func(b *testing.B, workers int) {
+		spec := testSpec(workers)
+		n := GridSize(spec, len(arch.Snapshots))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := Run(context.Background(), d, arch, prog, spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Candidates) != n {
+				b.Fatalf("ranked %d candidates, want %d", len(res.Candidates), n)
+			}
+		}
+		b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "candidates/s")
+	}
+	b.Run("serial", func(b *testing.B) { bench(b, -1) })
+	b.Run("parallel", func(b *testing.B) { bench(b, 0) })
+}

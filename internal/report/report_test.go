@@ -3,6 +3,8 @@ package report
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
+	"math"
 	"strings"
 	"testing"
 )
@@ -44,6 +46,26 @@ func TestBarsHandlesDegenerateValues(t *testing.T) {
 	}
 }
 
+func TestBarsDefaultWidthAndNaN(t *testing.T) {
+	// width <= 0 falls back to 50 columns.
+	out := Bars("", []string{"x"}, []float64{1}, 0, 0)
+	if !strings.Contains(out, strings.Repeat("#", 50)) {
+		t.Fatalf("default width not applied: %q", out)
+	}
+	// NaN renders as an empty bar instead of corrupting the layout, and
+	// an all-degenerate chart (maxVal clamped to 1) still renders.
+	out = Bars("", []string{"nan", "zero"}, []float64{math.NaN(), 0}, 10, 0)
+	if strings.Contains(out, "#") {
+		t.Fatalf("degenerate values drew bars: %q", out)
+	}
+	// A reference beyond every value clamps its marker to the last column.
+	out = Bars("", []string{"x"}, []float64{0.1}, 10, 0.0000001)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("lines = %d, want 1", len(lines))
+	}
+}
+
 func TestBarsPanicsOnMismatch(t *testing.T) {
 	defer func() {
 		if recover() == nil {
@@ -70,6 +92,37 @@ func TestSparkline(t *testing.T) {
 		if r != '▁' {
 			t.Fatalf("flat series should render minimum glyphs: %q", flat)
 		}
+	}
+	// A descending series exercises the min-update branch and still maps
+	// its extremes to the extreme glyphs.
+	desc := []rune(Sparkline([]float64{3, 2, 1, 0}))
+	if desc[0] != '█' || desc[3] != '▁' {
+		t.Fatalf("descending sparkline extremes wrong: %q", string(desc))
+	}
+}
+
+// failWriter fails every write, forcing the csv writer's buffered
+// output to surface errors on large (buffer-exceeding) fields.
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("sink failed") }
+
+func TestWriteCSVErrors(t *testing.T) {
+	big := strings.Repeat("x", 1<<16) // exceeds the csv writer's buffer
+	if err := WriteCSV(failWriter{}, []string{big}, nil); err == nil {
+		t.Fatal("header write to failing sink should error")
+	}
+	if err := WriteCSV(failWriter{}, []string{"a"}, [][]string{{big}}); err == nil {
+		t.Fatal("row write to failing sink should error")
+	}
+	if err := WriteCSV(failWriter{}, []string{"a"}, [][]string{{"1"}}); err == nil {
+		t.Fatal("flush to failing sink should error")
+	}
+}
+
+func TestWriteJSONError(t *testing.T) {
+	if err := WriteJSON(failWriter{}, map[string]int{"k": 1}); err == nil {
+		t.Fatal("json write to failing sink should error")
 	}
 }
 

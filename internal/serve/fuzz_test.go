@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"vaq/internal/portfolio"
 	"vaq/internal/workloads"
 )
 
@@ -62,6 +63,60 @@ func FuzzCompileRequest(f *testing.F) {
 		}
 		if req.QASM != "" && strings.TrimSpace(req.QASM) == "" {
 			t.Fatalf("empty qasm parsed without error")
+		}
+	})
+}
+
+// FuzzPortfolioRequest covers /v1/portfolio's decoder the same way: no
+// panics on arbitrary bytes, and every accepted request is normalized
+// into a spec whose grid respects the candidate bound.
+func FuzzPortfolioRequest(f *testing.F) {
+	seeds := []string{
+		`{"workload":"bv-8"}`,
+		`{"workload":"ghz-3","device":"q5","root_seed":7,"cycles":0,"random_starts":1,"top_k":2,"trials":2000}`,
+		`{"qasm":"qreg q[2];\ncx q[0], q[1];\nmeasure q[0] -> c[0];\n"}`,
+		`{"workload":"bv-4","cycles":16,"random_starts":8}`,
+		`{"workload":"bv-4","cycles":-1}`,
+		`{"workload":"bv-4","top_k":99}`,
+		`{"workload":"alu","unknown_field":1}`,
+		`{"workload":"alu"}{"workload":"alu"}`,
+		`{"root_seed":-9223372036854775808,"workload":"triswap"}`,
+		`null`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data string) {
+		const maxTrials = 1000000
+		req, err := DecodePortfolioRequest([]byte(data), maxTrials)
+		if err != nil {
+			if req != nil {
+				t.Fatal("error with non-nil request")
+			}
+			return
+		}
+		if (req.Workload == "") == (req.QASM == "") {
+			t.Fatalf("accepted request has %q/%q, want exactly one source", req.Workload, req.QASM)
+		}
+		if req.Device == "" || req.RootSeed == nil || req.Cycles == nil || req.RandomStarts == nil {
+			t.Fatalf("accepted request not normalized: %+v", req)
+		}
+		if *req.Cycles < 0 || *req.Cycles > MaxPortfolioCycles ||
+			*req.RandomStarts < 0 || *req.RandomStarts > MaxPortfolioStarts {
+			t.Fatalf("accepted axes out of range: cycles=%d starts=%d", *req.Cycles, *req.RandomStarts)
+		}
+		if req.TopK <= 0 || req.TopK > MaxPortfolioTopK {
+			t.Fatalf("accepted top_k %d out of (0, %d]", req.TopK, MaxPortfolioTopK)
+		}
+		if req.Trials <= 0 || req.Trials > maxTrials {
+			t.Fatalf("accepted trials %d out of (0, %d]", req.Trials, maxTrials)
+		}
+		spec := req.Spec(0)
+		if n := portfolio.GridSize(spec, *req.Cycles); n > MaxPortfolioCandidates {
+			t.Fatalf("accepted spec enumerates %d candidates (bound %d)", n, MaxPortfolioCandidates)
+		}
+		if _, err := req.Program(); err != nil {
+			return
 		}
 	})
 }

@@ -97,6 +97,13 @@ type Server struct {
 
 	mu      sync.RWMutex
 	devices map[string]*device.Device
+	// archives holds each device's full calibration archive (every
+	// cycle, not just the mean the device model is built from) — the
+	// portfolio compiler's cycle window and the /v1/devices cycle
+	// counts come from here. Built-ins always have one; a device whose
+	// archive is unknown portfolio-compiles on its reference snapshot
+	// only.
+	archives map[string]*calib.Archive
 }
 
 // New builds a Server with the built-in device models (q20 and q16
@@ -105,23 +112,28 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		sem:     make(chan struct{}, cfg.MaxInFlight),
-		cache:   newLRUCache(cfg.CacheEntries),
-		met:     newMetricsState(),
-		devices: make(map[string]*device.Device),
+		cfg:      cfg,
+		sem:      make(chan struct{}, cfg.MaxInFlight),
+		cache:    newLRUCache(cfg.CacheEntries),
+		met:      newMetricsState(),
+		devices:  make(map[string]*device.Device),
+		archives: make(map[string]*calib.Archive),
 	}
 	q20 := calib.Generate(calib.DefaultQ20Config(cfg.Seed))
 	s.devices["q20"] = device.MustNew(q20.Topo, q20.MustMean())
+	s.archives["q20"] = q20
 	q16 := calib.Generate(calib.DefaultQ16Config(cfg.Seed))
 	s.devices["q16"] = device.MustNew(q16.Topo, q16.MustMean())
+	s.archives["q16"] = q16
 	q5 := calib.TenerifeSnapshot()
 	s.devices["q5"] = device.MustNew(q5.Topo, q5)
+	s.archives["q5"] = &calib.Archive{Topo: q5.Topo, Snapshots: []*calib.Snapshot{q5}}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/compile", s.limited("/v1/compile", s.handleCompile))
 	mux.HandleFunc("POST /v1/estimate", s.limited("/v1/estimate", s.handleEstimate))
 	mux.HandleFunc("POST /v1/batch", s.limited("/v1/batch", s.handleBatch))
+	mux.HandleFunc("POST /v1/portfolio", s.limited("/v1/portfolio", s.handlePortfolio))
 	mux.HandleFunc("POST /v1/calibration", s.limited("/v1/calibration", s.handleCalibration))
 	mux.HandleFunc("GET /v1/devices", s.instrumented("/v1/devices", s.handleDevices))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -264,6 +276,24 @@ func (s *Server) lookupDevice(name string) (*device.Device, error) {
 		return nil, fmt.Errorf("%w %q (registered: %v)", errUnknownDevice, name, names)
 	}
 	return d, nil
+}
+
+// lookupDeviceArchive resolves a device together with its calibration
+// archive. The archive may be nil — the portfolio compiler treats that
+// as a reference-device-only grid.
+func (s *Server) lookupDeviceArchive(name string) (*device.Device, *calib.Archive, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.devices[name]
+	if !ok {
+		names := make([]string, 0, len(s.devices))
+		for n := range s.devices {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return nil, nil, fmt.Errorf("%w %q (registered: %v)", errUnknownDevice, name, names)
+	}
+	return d, s.archives[name], nil
 }
 
 // readBody drains a capped request body.
@@ -551,6 +581,7 @@ func (s *Server) handleCalibration(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.devices[name] = d
+		s.archives[name] = arch
 	}
 	s.mu.Unlock()
 
@@ -572,9 +603,16 @@ type namedDevice struct {
 	Model  string `json:"model"`
 	Qubits int    `json:"qubits"`
 	Links  int    `json:"links"`
+	// Cycles is the number of calibration snapshots in the device's
+	// archive — the window /v1/portfolio can draw candidates from. 0
+	// when no archive is known for the device.
+	Cycles int `json:"cycles"`
 	// Fingerprint is the calibration digest responses and caches key
 	// on; two names with equal fingerprints are interchangeable.
-	Fingerprint string `json:"fingerprint"`
+	// FingerprintPrefix is its 8-hex-digit short form, the handle
+	// humans paste into chat and dashboards.
+	Fingerprint       string `json:"fingerprint"`
+	FingerprintPrefix string `json:"fingerprint_prefix"`
 }
 
 func (s *Server) handleDevices(w http.ResponseWriter, r *http.Request) {
@@ -587,12 +625,19 @@ func (s *Server) handleDevices(w http.ResponseWriter, r *http.Request) {
 	resp := devicesResponse{Devices: make([]namedDevice, 0, len(names))}
 	for _, n := range names {
 		d := s.devices[n]
+		cycles := 0
+		if arch := s.archives[n]; arch != nil {
+			cycles = len(arch.Snapshots)
+		}
+		fp := fmt.Sprintf("%016x", d.Fingerprint())
 		resp.Devices = append(resp.Devices, namedDevice{
-			Name:        n,
-			Model:       d.Topology().Name,
-			Qubits:      d.NumQubits(),
-			Links:       d.Topology().NumLinks(),
-			Fingerprint: fmt.Sprintf("%016x", d.Fingerprint()),
+			Name:              n,
+			Model:             d.Topology().Name,
+			Qubits:            d.NumQubits(),
+			Links:             d.Topology().NumLinks(),
+			Cycles:            cycles,
+			Fingerprint:       fp,
+			FingerprintPrefix: fp[:8],
 		})
 	}
 	s.mu.RUnlock()

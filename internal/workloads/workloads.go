@@ -265,11 +265,18 @@ func TenQubitSuite() []Spec {
 // "bv-999999999" must be a clean error, not a giant allocation.
 const MaxNamedQubits = 4096
 
+// Names lists the valid ByName workload forms, alphabetically. Error
+// messages embed it so a caller who typos a name (or a nisqd client
+// reading a 400 body) sees what would have been accepted.
+func Names() []string {
+	return []string{"alu", "bv-N", "ghz-N", "qft-N", "rnd-LD", "rnd-SD", "triswap"}
+}
+
 // ByName resolves a CLI- or API-style workload name: alu, triswap,
 // rnd-SD, rnd-LD, bv-N, qft-N, ghz-N (case-insensitive). Unlike the
 // generator functions, ByName never panics: malformed names, sizes below
 // a generator's minimum, and sizes above MaxNamedQubits all return
-// errors.
+// errors, and the unknown-name error lists the valid forms.
 func ByName(name string) (*circuit.Circuit, error) {
 	lower := strings.ToLower(name)
 	sized := func(prefix string, min int) (int, error) {
@@ -310,6 +317,6 @@ func ByName(name string) (*circuit.Circuit, error) {
 		}
 		return GHZ(n), nil
 	default:
-		return nil, fmt.Errorf("unknown workload %q", name)
+		return nil, fmt.Errorf("unknown workload %q (valid: %s)", name, strings.Join(Names(), ", "))
 	}
 }

@@ -1,6 +1,8 @@
 package workloads
 
 import (
+	"sort"
+	"strings"
 	"testing"
 
 	"vaq/internal/gate"
@@ -203,6 +205,64 @@ func TestSuites(t *testing.T) {
 	for _, spec := range TenQubitSuite() {
 		if spec.Circuit.NumQubits != 10 {
 			t.Errorf("%s qubits = %d, want 10", spec.Name, spec.Circuit.NumQubits)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	cases := []struct {
+		name    string
+		qubits  int    // expected NumQubits on success
+		wantErr string // substring the error must carry; empty = success
+	}{
+		{name: "alu", qubits: 10},
+		{name: "ALU", qubits: 10}, // case-insensitive
+		{name: "triswap", qubits: 3},
+		{name: "rnd-SD", qubits: 20},
+		{name: "rnd-ld", qubits: 20},
+		{name: "bv-16", qubits: 16},
+		{name: "qft-12", qubits: 12},
+		{name: "ghz-3", qubits: 3},
+		{name: "bv-1", wantErr: "size must be in"},
+		{name: "bv-999999999", wantErr: "size must be in"},
+		{name: "qft-x", wantErr: "bad workload"},
+		{name: "bv-", wantErr: "bad workload"},
+		// Unknown names must enumerate the valid forms so CLI users and
+		// nisqd 400 bodies are self-explanatory.
+		{name: "sorcery-9", wantErr: "valid: alu, bv-N, ghz-N, qft-N, rnd-LD, rnd-SD, triswap"},
+		{name: "", wantErr: "valid: alu"},
+	}
+	for _, tc := range cases {
+		c, err := ByName(tc.name)
+		if tc.wantErr != "" {
+			if err == nil {
+				t.Errorf("ByName(%q) succeeded, want error containing %q", tc.name, tc.wantErr)
+			} else if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("ByName(%q) error %q does not contain %q", tc.name, err, tc.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ByName(%q): %v", tc.name, err)
+			continue
+		}
+		if c.NumQubits != tc.qubits {
+			t.Errorf("ByName(%q) has %d qubits, want %d", tc.name, c.NumQubits, tc.qubits)
+		}
+	}
+}
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	names := Names()
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Names() not sorted: %v", names)
+	}
+	// Every listed fixed name resolves; every parameterized form
+	// resolves with a small N.
+	for _, n := range names {
+		probe := strings.Replace(n, "-N", "-4", 1)
+		if _, err := ByName(probe); err != nil {
+			t.Errorf("listed workload form %q does not resolve as %q: %v", n, probe, err)
 		}
 	}
 }

@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
 # Benchmark runner + snapshot writer. Runs the repository's tracked
 # benchmarks (Monte-Carlo simulator, compile pipeline, routing core,
-# serve-layer response cache) with
+# serve-layer response cache, portfolio fan-out) with
 # allocation reporting and parses the output into a machine-readable
 # BENCH_<yyyymmdd>.json in the repo root, so perf regressions can be
 # diffed across PRs. Usage:
@@ -12,7 +12,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 COUNT="${1:-1}"
-PATTERN='MonteCarlo|CompilePipeline|Route|NewCosts|SearchSwaps|ServeCompile'
+PATTERN='MonteCarlo|CompilePipeline|Route|NewCosts|SearchSwaps|ServeCompile|Portfolio'
 OUT="BENCH_$(date +%Y%m%d).json"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT

@@ -13,7 +13,7 @@ go test -race "$@" ./...
 # Benchmark smoke: one iteration of every tracked benchmark, so a change
 # that breaks a benchmark body (rather than its performance) fails the
 # gate instead of surfacing at the next scripts/bench.sh run.
-go test -run '^$' -bench 'MonteCarlo|CompilePipeline|Route|NewCosts|SearchSwaps|ServeCompile' -benchtime=1x ./...
+go test -run '^$' -bench 'MonteCarlo|CompilePipeline|Route|NewCosts|SearchSwaps|ServeCompile|Portfolio' -benchtime=1x ./...
 # Fuzz smoke: a short native-fuzzing burst on the untrusted-input
 # parsers (QASM source, calibration archives, nisqd request bodies). The
 # committed testdata/fuzz corpora replay on every plain `go test` run;
@@ -22,6 +22,7 @@ go test -run '^$' -bench 'MonteCarlo|CompilePipeline|Route|NewCosts|SearchSwaps|
 go test -run '^$' -fuzz FuzzParse -fuzztime 10s ./internal/qasm
 go test -run '^$' -fuzz FuzzReadJSON -fuzztime 10s ./internal/calib
 go test -run '^$' -fuzz FuzzCompileRequest -fuzztime 10s ./internal/serve
+go test -run '^$' -fuzz FuzzPortfolioRequest -fuzztime 10s ./internal/serve
 # Coverage floor: total statement coverage must not regress below the
 # recorded baseline (88.6% at the floor's introduction, gated with a
 # small margin). Raise the floor when coverage improves; never lower it.
