@@ -310,44 +310,91 @@ func BenchmarkCompilePipeline(b *testing.B) {
 	}
 }
 
-// BenchmarkMonteCarlo measures the fault-injection simulator's trial
-// throughput (serial path), reported as real trials/sec from the measured
-// elapsed time.
-func BenchmarkMonteCarlo(b *testing.B) {
+// mcCompiled compiles the shared Monte-Carlo benchmark workload
+// (bv-16 under the baseline policy, as in the determinism tests).
+func mcCompiled(b *testing.B) (*device.Device, *sim.Prepared) {
+	b.Helper()
 	d := benchDevice()
 	comp, err := core.Compile(d, workloads.BV(16), core.Options{Policy: core.Baseline})
 	if err != nil {
 		b.Fatal(err)
 	}
-	const trials = 10000
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		sim.Run(d, comp.Routed.Physical, sim.Config{Trials: trials, Seed: int64(i), Workers: -1})
-	}
+	return d, sim.Prepare(d, comp.Routed.Physical, sim.Config{})
+}
+
+// reportTrials attaches the uniform MC throughput metric: real trials/sec
+// from the measured elapsed time. Every MC benchmark reports it so the
+// BENCH snapshots stay comparable across kernels and worker counts.
+func reportTrials(b *testing.B, trials int) {
+	b.Helper()
 	if secs := b.Elapsed().Seconds(); secs > 0 {
 		b.ReportMetric(float64(trials)*float64(b.N)/secs, "trials/sec")
 	}
 }
 
-// BenchmarkMonteCarloParallel sweeps the worker count over the sharded
-// simulator on a single prepared circuit; the trial budget is large
-// enough (64 blocks) for the pool to matter.
-func BenchmarkMonteCarloParallel(b *testing.B) {
+// BenchmarkMonteCarlo measures the packed fault-injection kernel's trial
+// throughput on the serial path. The trial budget spans 16 full blocks so
+// per-run setup (plan lookup, partial summation) amortizes and the number
+// reported is the kernel's steady-state rate.
+func BenchmarkMonteCarlo(b *testing.B) {
+	_, prep := mcCompiled(b)
+	const trials = 16 * sim.BlockSize
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prep.Run(sim.Config{Trials: trials, Seed: int64(i), Workers: -1})
+	}
+	reportTrials(b, trials)
+}
+
+// BenchmarkMonteCarloScalar measures the scalar reference kernel on the
+// identical workload — the packed/scalar ratio in a BENCH snapshot is the
+// bit-parallel speedup on that machine.
+func BenchmarkMonteCarloScalar(b *testing.B) {
+	_, prep := mcCompiled(b)
+	const trials = 10000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prep.Run(sim.Config{Trials: trials, Seed: int64(i), Workers: -1, Kernel: sim.KernelScalar})
+	}
+	reportTrials(b, trials)
+}
+
+// BenchmarkMonteCarloPrepare measures Prepare itself (error-model
+// derivation, ASAP schedule, packed-plan construction) — the fixed cost a
+// caller pays before the first trial.
+func BenchmarkMonteCarloPrepare(b *testing.B) {
 	d := benchDevice()
 	comp, err := core.Compile(d, workloads.BV(16), core.Options{Policy: core.Baseline})
 	if err != nil {
 		b.Fatal(err)
 	}
-	const trials = 64 * sim.BlockSize
-	prep := sim.Prepare(d, comp.Routed.Physical, sim.Config{})
+	phys := comp.Routed.Physical
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Prepare(d, phys, sim.Config{})
+	}
+}
+
+// BenchmarkMonteCarloParallel sweeps the worker count over the sharded
+// simulator on a single prepared circuit. The trial budget spans 256
+// blocks so per-block work dominates pool dispatch even at packed-kernel
+// speeds. The worker list is deduplicated (on a 1-CPU machine GOMAXPROCS
+// collides with the literal 1) so every sub-benchmark name is unique and
+// BENCH snapshot keys stay unambiguous.
+func BenchmarkMonteCarloParallel(b *testing.B) {
+	_, prep := mcCompiled(b)
+	const trials = 256 * sim.BlockSize
+	seen := map[int]bool{}
 	for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		if seen[workers] {
+			continue
+		}
+		seen[workers] = true
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				prep.Run(sim.Config{Trials: trials, Seed: int64(i), Workers: workers})
 			}
-			if secs := b.Elapsed().Seconds(); secs > 0 {
-				b.ReportMetric(float64(trials)*float64(b.N)/secs, "trials/sec")
-			}
+			reportTrials(b, trials)
 		})
 	}
 }

@@ -41,6 +41,7 @@ import (
 
 	"vaq/internal/cliutil"
 	"vaq/internal/serve"
+	"vaq/internal/sim"
 )
 
 func main() {
@@ -53,6 +54,7 @@ func main() {
 		reqTO    = flag.Duration("request-timeout", 60*time.Second, "per-request deadline (0: no limit)")
 		drainTO  = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain bound")
 		cacheN   = flag.Int("cache-entries", 512, "LRU response-cache capacity (0: disable)")
+		kernel   = flag.String("kernel", "", "Monte-Carlo kernel when a request names none: packed (bit-parallel, default) or scalar (reference)")
 	)
 	flag.Parse()
 
@@ -67,11 +69,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "nisqd:", err)
 		os.Exit(2)
 	}
+	if !sim.ValidKernel(*kernel) {
+		fmt.Fprintf(os.Stderr, "nisqd: -kernel must be %q or %q (got %q)\n",
+			sim.KernelPacked, sim.KernelScalar, *kernel)
+		os.Exit(2)
+	}
 
 	srv := serve.New(serve.Config{
 		Seed:           *seed,
 		MaxTrials:      *trials,
 		Workers:        *workers,
+		Kernel:         *kernel,
 		MaxInFlight:    *inflight,
 		RequestTimeout: *reqTO,
 		DrainTimeout:   *drainTO,

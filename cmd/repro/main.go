@@ -39,6 +39,7 @@ import (
 	"vaq/internal/experiments"
 	"vaq/internal/parallel"
 	"vaq/internal/report"
+	"vaq/internal/sim"
 )
 
 func main() {
@@ -55,6 +56,7 @@ func main() {
 		calibP   = flag.String("calib", "", "replace the synthetic archive with a calgen-style JSON archive (invalid cycles are quarantined)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		kernel   = flag.String("kernel", "", "Monte-Carlo kernel: packed (bit-parallel, default) or scalar (reference)")
 	)
 	flag.Parse()
 
@@ -66,11 +68,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "repro:", err)
 		os.Exit(2)
 	}
+	if !sim.ValidKernel(*kernel) {
+		fmt.Fprintf(os.Stderr, "repro: -kernel must be %q or %q (got %q)\n",
+			sim.KernelPacked, sim.KernelScalar, *kernel)
+		os.Exit(2)
+	}
 
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
-	cfg := experiments.Config{Seed: *seed, Trials: *trials, Workers: *workers}
+	cfg := experiments.Config{Seed: *seed, Trials: *trials, Workers: *workers, Kernel: *kernel}
 	cfg = applyFullBudget(cfg, *full, explicit)
 
 	if *resume && *ckDir == "" {

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeSnapshot drops a minimal bench.sh-format snapshot into dir.
+func writeSnapshot(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// runCompare invokes scripts/bench.sh -compare and returns the exit code
+// with the combined output.
+func runCompare(t *testing.T, old, new string) (int, string) {
+	t.Helper()
+	cmd := exec.Command("sh", "scripts/bench.sh", "-compare", old, new)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return 0, string(out)
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return ee.ExitCode(), string(out)
+	}
+	t.Fatalf("running bench.sh -compare: %v\n%s", err, out)
+	return -1, ""
+}
+
+// TestBenchCompare pins the regression-gate contract of
+// scripts/bench.sh -compare: a >10% ns/op regression on any shared
+// benchmark exits non-zero and names the offender; improvements, small
+// wobbles, and benchmarks present on only one side pass. It also covers
+// the key canonicalization (GOMAXPROCS -8 and collision #01 suffixes
+// strip; duplicate samples aggregate to the minimum).
+func TestBenchCompare(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnapshot(t, dir, "old.json", `{
+  "date": "2026-08-05",
+  "benchmarks": [
+    {"name": "BenchmarkMonteCarlo", "ns_op": 1000000, "b_op": 0, "allocs_op": 0},
+    {"name": "BenchmarkRouteCold", "ns_op": 200000, "b_op": 0, "allocs_op": 0},
+    {"name": "BenchmarkOldOnly", "ns_op": 5, "b_op": 0, "allocs_op": 0}
+  ],
+  "goos": "linux", "goarch": "amd64", "count": 1
+}
+`)
+
+	// Injected regression: RouteCold 200000 -> 260000 (+30%).
+	bad := writeSnapshot(t, dir, "bad.json", `{
+  "date": "2026-08-08",
+  "benchmarks": [
+    {"name": "BenchmarkMonteCarlo-8", "ns_op": 250000, "b_op": 0, "allocs_op": 0, "trials_sec": 260000000},
+    {"name": "BenchmarkRouteCold", "ns_op": 260000, "b_op": 0, "allocs_op": 0},
+    {"name": "BenchmarkNewOnly", "ns_op": 7, "b_op": 0, "allocs_op": 0}
+  ],
+  "goos": "linux", "goarch": "amd64", "count": 1
+}
+`)
+	code, out := runCompare(t, old, bad)
+	if code == 0 {
+		t.Fatalf("injected +30%% regression passed the gate:\n%s", out)
+	}
+	if want := "REGRESSION BenchmarkRouteCold"; !strings.Contains(out, want) {
+		t.Errorf("output does not name the regressed benchmark (%q):\n%s", want, out)
+	}
+	if strings.Contains(out, "REGRESSION BenchmarkMonteCarlo") {
+		t.Errorf("4x speedup flagged as a regression:\n%s", out)
+	}
+
+	// Clean pair: improvement plus within-noise wobble (+5%), duplicate
+	// samples keeping the minimum (#01 suffix canonicalizes to the same
+	// key, and only the faster 205000 sample must be compared).
+	good := writeSnapshot(t, dir, "good.json", `{
+  "date": "2026-08-08",
+  "benchmarks": [
+    {"name": "BenchmarkMonteCarlo", "ns_op": 250000, "b_op": 0, "allocs_op": 0, "trials_sec": 260000000},
+    {"name": "BenchmarkRouteCold", "ns_op": 999000, "b_op": 0, "allocs_op": 0},
+    {"name": "BenchmarkRouteCold#01", "ns_op": 205000, "b_op": 0, "allocs_op": 0}
+  ],
+  "goos": "linux", "goarch": "amd64", "count": 2
+}
+`)
+	code, out = runCompare(t, old, good)
+	if code != 0 {
+		t.Fatalf("clean snapshot pair failed the gate (exit %d):\n%s", code, out)
+	}
+}

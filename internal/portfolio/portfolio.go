@@ -82,6 +82,10 @@ type Spec struct {
 	// Workers bounds the candidate fan-out goroutines (0: one per CPU,
 	// <0: serial). The ranking is bit-identical at any setting.
 	Workers int
+	// Kernel selects the Monte-Carlo kernel for the refinement stage
+	// ("" means the simulator default, the packed kernel; see
+	// sim.Config.Kernel).
+	Kernel string
 
 	// normalized marks a spec that already passed through withDefaults.
 	// The zero-vs-negative sentinels are only meaningful on raw input:
@@ -478,6 +482,7 @@ func Run(ctx context.Context, d *device.Device, arch *calib.Archive, prog *circu
 			Trials:  spec.Trials,
 			Seed:    deriveSeed(spec.RootSeed, mcStream, c.ID),
 			Workers: -1, // the refinement set is the parallel axis
+			Kernel:  spec.Kernel,
 		})
 		c.MCResult = &MC{PST: out.PST, StdErr: out.StdErr, Trials: out.Trials}
 		return nil

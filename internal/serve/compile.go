@@ -15,6 +15,7 @@ package serve
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"vaq/internal/circuit"
 	"vaq/internal/core"
@@ -30,6 +31,11 @@ type Spec struct {
 	Trials   int
 	Workers  int
 	Optimize bool
+	// Kernel selects the Monte-Carlo kernel (sim.KernelPacked or
+	// sim.KernelScalar; "" means the simulator default). It is part of
+	// the cache identity: the kernels agree statistically, not byte for
+	// byte.
+	Kernel string
 	// SkipMonteCarlo leaves Result.MC zeroed and MC absent from the
 	// report (the /v1/estimate endpoint's analytic-only mode).
 	SkipMonteCarlo bool
@@ -63,6 +69,9 @@ type MCInfo struct {
 	PST    float64 `json:"pst"`
 	StdErr float64 `json:"std_err"`
 	Trials int     `json:"trials"`
+	// Kernel is the Monte-Carlo kernel that produced the estimate
+	// ("packed" or "scalar").
+	Kernel string `json:"kernel"`
 }
 
 // HazardInfo reports the per-class failure hazards (expected failure
@@ -95,6 +104,11 @@ type Result struct {
 	// need more than the summary (nisqc's -timeline/-outcomes/-verbose
 	// extras). It never travels over the wire.
 	PhysicalCircuit *circuit.Circuit `json:"-"`
+
+	// mcElapsed is the wall time the Monte-Carlo estimate took (zero when
+	// skipped); the daemon's trial-throughput metrics read it on cache
+	// misses. Like PhysicalCircuit, it never travels over the wire.
+	mcElapsed time.Duration
 }
 
 // Run compiles prog onto d under spec, verifies the result, and
@@ -104,6 +118,9 @@ func Run(d *device.Device, prog *circuit.Circuit, spec Spec) (*Result, error) {
 	policy, ok := core.PolicyByName(spec.Policy)
 	if !ok {
 		return nil, fmt.Errorf("unknown policy %q", spec.Policy)
+	}
+	if !sim.ValidKernel(spec.Kernel) {
+		return nil, fmt.Errorf("unknown kernel %q", spec.Kernel)
 	}
 	comp, err := core.Compile(d, prog, core.Options{Policy: policy, Seed: spec.Seed, Optimize: spec.Optimize})
 	if err != nil {
@@ -115,7 +132,7 @@ func Run(d *device.Device, prog *circuit.Circuit, spec Spec) (*Result, error) {
 
 	in := prog.Stats()
 	out := comp.Routed.Physical.Stats()
-	scfg := sim.Config{Trials: spec.Trials, Seed: spec.Seed, Workers: spec.Workers}
+	scfg := sim.Config{Trials: spec.Trials, Seed: spec.Seed, Workers: spec.Workers, Kernel: spec.Kernel}
 	prep := sim.Prepare(d, comp.Routed.Physical, scfg)
 	analytic := prep.AnalyticPST()
 	breakdown := sim.AnalyticBreakdown(d, comp.Routed.Physical, scfg)
@@ -148,8 +165,10 @@ func Run(d *device.Device, prog *circuit.Circuit, spec Spec) (*Result, error) {
 		PhysicalCircuit: comp.Routed.Physical,
 	}
 	if !spec.SkipMonteCarlo {
+		start := time.Now()
 		mc := prep.Run(scfg)
-		r.MC = &MCInfo{PST: mc.PST, StdErr: mc.StdErr, Trials: mc.Trials}
+		r.mcElapsed = time.Since(start)
+		r.MC = &MCInfo{PST: mc.PST, StdErr: mc.StdErr, Trials: mc.Trials, Kernel: mc.Kernel}
 	}
 
 	// The report is rendered here, with the live objects, using the

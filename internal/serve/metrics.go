@@ -31,6 +31,11 @@ type metricsState struct {
 	buckets   []int64          // latency histogram, one per bound + Inf
 	sumNs     int64
 	count     int64
+	// Monte-Carlo trial throughput by kernel, counted on cache misses
+	// (cache hits run no trials). trials/seconds is the observed
+	// trials-per-second rate of each kernel.
+	mcTrials  map[string]int64
+	mcSeconds map[string]float64
 }
 
 func newMetricsState() *metricsState {
@@ -38,7 +43,21 @@ func newMetricsState() *metricsState {
 		requests:  make(map[string]int64),
 		responses: make(map[int]int64),
 		buckets:   make([]int64, len(latencyBounds)+1),
+		mcTrials:  make(map[string]int64),
+		mcSeconds: make(map[string]float64),
 	}
+}
+
+// mc records a freshly computed result's Monte-Carlo work (a no-op for
+// analytic-only results).
+func (m *metricsState) mc(res *Result) {
+	if res == nil || res.MC == nil {
+		return
+	}
+	m.mu.Lock()
+	m.mcTrials[res.MC.Kernel] += int64(res.MC.Trials)
+	m.mcSeconds[res.MC.Kernel] += res.mcElapsed.Seconds()
+	m.mu.Unlock()
 }
 
 func (m *metricsState) request(endpoint string) {
@@ -103,6 +122,16 @@ func (m *metricsState) render() string {
 	b.WriteString("# HELP nisqd_cache_misses_total Response-cache misses.\n")
 	b.WriteString("# TYPE nisqd_cache_misses_total counter\n")
 	fmt.Fprintf(&b, "nisqd_cache_misses_total %d\n", m.misses)
+	b.WriteString("# HELP nisqd_mc_trials_total Monte-Carlo trials simulated, by kernel.\n")
+	b.WriteString("# TYPE nisqd_mc_trials_total counter\n")
+	for _, k := range sortedKeys(m.mcTrials) {
+		fmt.Fprintf(&b, "nisqd_mc_trials_total{kernel=%q} %d\n", k, m.mcTrials[k])
+	}
+	b.WriteString("# HELP nisqd_mc_seconds_total Wall time spent simulating Monte-Carlo trials, by kernel.\n")
+	b.WriteString("# TYPE nisqd_mc_seconds_total counter\n")
+	for _, k := range sortedKeys(m.mcTrials) {
+		fmt.Fprintf(&b, "nisqd_mc_seconds_total{kernel=%q} %g\n", k, m.mcSeconds[k])
+	}
 	b.WriteString("# HELP nisqd_in_flight Requests currently being served.\n")
 	b.WriteString("# TYPE nisqd_in_flight gauge\n")
 	fmt.Fprintf(&b, "nisqd_in_flight %d\n", m.inFlight.Load())

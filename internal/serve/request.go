@@ -11,6 +11,7 @@ import (
 	"vaq/internal/cliutil"
 	"vaq/internal/core"
 	"vaq/internal/qasm"
+	"vaq/internal/sim"
 	"vaq/internal/workloads"
 )
 
@@ -57,6 +58,10 @@ type CompileRequest struct {
 	// MonteCarlo toggles the Monte-Carlo estimate on /v1/estimate
 	// (ignored by /v1/compile, which always runs it, mirroring nisqc).
 	MonteCarlo bool `json:"monte_carlo,omitempty"`
+	// Kernel selects the Monte-Carlo kernel: "packed" (the bit-parallel
+	// default) or "scalar" (the reference path). Omitted means the
+	// server's configured default.
+	Kernel string `json:"kernel,omitempty"`
 }
 
 // BatchRequest is the body of POST /v1/batch.
@@ -147,6 +152,9 @@ func (r *CompileRequest) validate(maxTrials int) error {
 	if r.Trials > maxTrials {
 		return badReqf("trials %d over the server cap %d", r.Trials, maxTrials)
 	}
+	if !sim.ValidKernel(r.Kernel) {
+		return badReqf("unknown kernel %q (valid: %q, %q)", r.Kernel, sim.KernelPacked, sim.KernelScalar)
+	}
 	return nil
 }
 
@@ -196,6 +204,6 @@ func (r *CompileRequest) Program() (*circuit.Circuit, error) {
 func CacheKey(endpoint string, deviceFP uint64, prog *circuit.Circuit, spec Spec) string {
 	h := fnv.New64a()
 	h.Write([]byte(qasm.Serialize(prog)))
-	return fmt.Sprintf("%s|%016x|%016x|%s|%d|%d|%t|%t",
-		endpoint, deviceFP, h.Sum64(), spec.Policy, spec.Seed, spec.Trials, spec.Optimize, spec.SkipMonteCarlo)
+	return fmt.Sprintf("%s|%016x|%016x|%s|%d|%d|%t|%s|%t",
+		endpoint, deviceFP, h.Sum64(), spec.Policy, spec.Seed, spec.Trials, spec.Optimize, spec.Kernel, spec.SkipMonteCarlo)
 }

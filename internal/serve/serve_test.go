@@ -417,10 +417,60 @@ func TestMetricsEndpoint(t *testing.T) {
 		`nisqd_in_flight 0`,
 		`nisqd_load_shed_total 0`,
 		`nisqd_request_duration_seconds_count 3`,
+		// One cache miss ran 2000 trials on the default (packed) kernel;
+		// the cache hit added none.
+		`nisqd_mc_trials_total{kernel="packed"} 2000`,
+		`nisqd_mc_seconds_total{kernel="packed"} `,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q:\n%s", want, text)
 		}
+	}
+}
+
+// TestKernelSelection covers the kernel knob end to end: the response's
+// monte_carlo.kernel echoes the kernel that ran, the two kernels are
+// distinct cache entries, scalar throughput is metered separately, and an
+// unknown kernel is a 400.
+func TestKernelSelection(t *testing.T) {
+	_, ts := newTestServer(t)
+	req := func(kernel string) string {
+		return fmt.Sprintf(`{"workload":"bv-4","policy":"baseline","trials":2000,"monte_carlo":true,"kernel":%q}`, kernel)
+	}
+	var out struct {
+		MC *MCInfo `json:"monte_carlo"`
+	}
+	for _, kernel := range []string{"packed", "scalar"} {
+		resp, body := post(t, ts.URL+"/v1/estimate", req(kernel))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", kernel, resp.StatusCode, body)
+		}
+		if resp.Header.Get("X-Nisqd-Cache") != "miss" {
+			t.Errorf("%s: expected a distinct cache entry per kernel", kernel)
+		}
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.MC == nil || out.MC.Kernel != kernel {
+			t.Errorf("kernel %q response reports %+v", kernel, out.MC)
+		}
+	}
+	resp, _ := post(t, ts.URL+"/v1/estimate", req("scalar"))
+	if resp.Header.Get("X-Nisqd-Cache") != "hit" {
+		t.Error("repeated scalar request missed the cache")
+	}
+	_, body := get(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		`nisqd_mc_trials_total{kernel="packed"} 2000`,
+		`nisqd_mc_trials_total{kernel="scalar"} 2000`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+	resp, body = post(t, ts.URL+"/v1/estimate", req("vectorized"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown kernel: status %d: %s", resp.StatusCode, body)
 	}
 }
 

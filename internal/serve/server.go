@@ -34,6 +34,9 @@ type Config struct {
 	// batch fan-out (0: one per CPU, <0: serial); outcomes are
 	// bit-identical at any setting.
 	Workers int
+	// Kernel is the Monte-Carlo kernel used when a request does not name
+	// one ("" means the simulator default, the packed kernel).
+	Kernel string
 	// MaxInFlight is the concurrency limit beyond which requests are
 	// shed with 429 instead of queued (default 64).
 	MaxInFlight int
@@ -325,12 +328,17 @@ func checkFits(d *device.Device, prog *circuit.Circuit) error {
 
 // spec converts a normalized request into the cacheable pipeline spec.
 func (s *Server) spec(req *CompileRequest, skipMC bool) Spec {
+	kernel := req.Kernel
+	if kernel == "" {
+		kernel = s.cfg.Kernel
+	}
 	return Spec{
 		Policy:         req.Policy,
 		Seed:           *req.Seed,
 		Trials:         req.Trials,
 		Workers:        s.cfg.Workers,
 		Optimize:       req.Optimize,
+		Kernel:         kernel,
 		SkipMonteCarlo: skipMC,
 	}
 }
@@ -365,6 +373,7 @@ func (s *Server) compileCached(ctx context.Context, endpoint string, req *Compil
 	if err != nil {
 		return nil, false, err
 	}
+	s.met.mc(res)
 	body, err := json.MarshalIndent(res, "", " ")
 	if err != nil {
 		return nil, false, err
@@ -487,6 +496,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return err
 		}
+		s.met.mc(res)
 		items[i].Result = res
 		if body, err := json.MarshalIndent(res, "", " "); err == nil {
 			s.cache.put(cacheKey, append(body, '\n'))

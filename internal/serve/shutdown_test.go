@@ -12,8 +12,10 @@ import (
 )
 
 // slowEstimate is a request whose Monte-Carlo run takes long enough
-// (hundreds of ms) that the test can observe it in flight.
-const slowEstimate = `{"workload":"bv-10","policy":"vqm","trials":5000000,"monte_carlo":true}`
+// (hundreds of ms) that the test can observe it in flight. It pins the
+// scalar kernel: the packed kernel finishes 5M trials in milliseconds,
+// too fast for the in-flight gauge to catch.
+const slowEstimate = `{"workload":"bv-10","policy":"vqm","trials":5000000,"monte_carlo":true,"kernel":"scalar"}`
 
 // waitInFlight polls the in-flight gauge until it reaches want.
 func waitInFlight(t *testing.T, s *Server, want int64) {

@@ -25,6 +25,7 @@ type Prepared struct {
 	coh       []float64 // nil when coherence is disabled
 	duration  time.Duration
 	analytic  float64
+	packed    *packedPlan // class-aggregated model for the packed kernel
 }
 
 // Prepare validates the circuit against the device and precomputes the
@@ -54,6 +55,7 @@ func Prepare(d *device.Device, phys *circuit.Circuit, cfg Config) *Prepared {
 	for _, perr := range p.coh {
 		p.analytic *= 1 - perr
 	}
+	p.packed = buildPackedPlan(p.gateErr, p.gateClass, p.coh)
 	return p
 }
 
@@ -82,6 +84,11 @@ func (p *Prepared) Run(cfg Config) Outcome {
 	}
 	nblocks := (trials + block - 1) / block
 	partials := make([]blockOutcome, nblocks)
+	kernel := cfg.kernel()
+	runBlock := p.runBlockPacked
+	if kernel == KernelScalar {
+		runBlock = p.runBlockScalar
+	}
 	// Worker resolution lives in parallel.Workers; ForEach itself runs
 	// serially on the calling goroutine when the count resolves to 1.
 	parallel.ForEach(cfg.Workers, nblocks, func(b int) error {
@@ -89,10 +96,10 @@ func (p *Prepared) Run(cfg Config) Outcome {
 		if hi > trials {
 			hi = trials
 		}
-		partials[b] = p.runBlock(blockSeed(cfg.Seed, b), hi-lo)
+		partials[b] = runBlock(blockSeed(cfg.Seed, b), hi-lo)
 		return nil
 	})
-	out := Outcome{Trials: trials}
+	out := Outcome{Trials: trials, Kernel: kernel}
 	for _, bo := range partials {
 		out.Successes += bo.successes
 		out.GateFailures += bo.gate
@@ -109,8 +116,11 @@ func (p *Prepared) Run(cfg Config) Outcome {
 	return out
 }
 
-// runBlock walks one block of fault-injection trials with its own RNG.
-func (p *Prepared) runBlock(seed int64, trials int) blockOutcome {
+// runBlockScalar walks one block of fault-injection trials one at a time
+// with its own RNG — the reference kernel the packed path is cross-checked
+// against. Its math/rand stream layout is frozen: historical golden
+// Outcomes depend on it byte for byte.
+func (p *Prepared) runBlockScalar(seed int64, trials int) blockOutcome {
 	rng := rand.New(rand.NewSource(seed))
 	var bo blockOutcome
 	for t := 0; t < trials; t++ {

@@ -51,6 +51,23 @@ const DefaultResetOverhead = 10 * time.Microsecond
 // goroutine or many.
 const BlockSize = 4096
 
+// Monte-Carlo kernel names for Config.Kernel.
+const (
+	// KernelPacked is the bit-parallel kernel: 64 trials per machine word,
+	// class-aggregated mask sampling (see packed.go). The default.
+	KernelPacked = "packed"
+	// KernelScalar is the original one-trial-at-a-time reference kernel,
+	// kept build-tag-free for cross-checking and for callers that depend on
+	// its historical byte-exact trial streams.
+	KernelScalar = "scalar"
+)
+
+// ValidKernel reports whether s names a Monte-Carlo kernel ("" selects
+// the default).
+func ValidKernel(s string) bool {
+	return s == "" || s == KernelPacked || s == KernelScalar
+}
+
 // Config controls a simulation.
 type Config struct {
 	// Trials for the Monte Carlo estimator (default 100000).
@@ -61,11 +78,25 @@ type Config struct {
 	// literally, 0 (the default) uses one worker per CPU, and < 0 forces
 	// serial execution. The Outcome is identical at every setting.
 	Workers int
+	// Kernel selects the Monte-Carlo kernel: KernelPacked (the default,
+	// also selected by ""), or KernelScalar for the reference path. The
+	// two kernels sample the same distribution but consume randomness
+	// differently, so their Outcomes agree statistically, not byte for
+	// byte; within one kernel the Outcome is a pure function of
+	// (error model, Seed, Trials) at any worker count.
+	Kernel string
 	// DisableCoherence turns off the decoherence model (gate and readout
 	// errors only).
 	DisableCoherence bool
 	// CoherenceDuty overrides DefaultCoherenceDuty when > 0.
 	CoherenceDuty float64
+}
+
+func (c Config) kernel() string {
+	if c.Kernel == KernelScalar {
+		return KernelScalar
+	}
+	return KernelPacked
 }
 
 func (c Config) trials() int {
@@ -100,6 +131,9 @@ type Outcome struct {
 	Duration           time.Duration
 	TrialLatency       time.Duration
 	SuccessesPerSecond float64
+	// Kernel records which Monte-Carlo kernel produced this Outcome
+	// (KernelPacked or KernelScalar).
+	Kernel string
 }
 
 // AnalyticPST computes the closed-form PST of a physical circuit.

@@ -1,14 +1,78 @@
 #!/usr/bin/env sh
-# Benchmark runner + snapshot writer. Runs the repository's tracked
-# benchmarks (Monte-Carlo simulator, compile pipeline, routing core,
-# serve-layer response cache, portfolio fan-out) with
-# allocation reporting and parses the output into a machine-readable
-# BENCH_<yyyymmdd>.json in the repo root, so perf regressions can be
-# diffed across PRs. Usage:
+# Benchmark runner + snapshot writer + regression comparator.
 #
-#	scripts/bench.sh          # one run of each benchmark
-#	scripts/bench.sh 5        # -count=5 (five samples per benchmark)
+# Run mode executes the repository's tracked benchmarks (Monte-Carlo
+# simulator, compile pipeline, routing core, serve-layer response cache,
+# portfolio fan-out) with allocation reporting and parses the output into
+# a machine-readable BENCH_<yyyymmdd>.json in the repo root, so perf
+# regressions can be diffed across PRs. Snapshot keys are stable and
+# deduplicated: the GOMAXPROCS suffix (-8) and Go's collision suffix
+# (#01) are stripped, and repeated samples of one benchmark (-count > 1,
+# or historical duplicate sub-benchmark names) keep the minimum ns/op —
+# the least-noise estimate of the true cost.
+#
+# Compare mode diffs two snapshots and fails (non-zero exit) when any
+# benchmark present in both regressed by more than 10% ns/op, for CI and
+# pre-merge checks.
+#
+#	scripts/bench.sh                        # one run of each benchmark
+#	scripts/bench.sh 5                      # -count=5 (five samples each)
+#	scripts/bench.sh -compare OLD.json NEW.json
 set -eu
+
+# canonical_rows <file>: emit "name ns_op trials_sec" per benchmark with
+# canonicalized names, minimum ns/op (maximum trials/sec) across
+# duplicates.
+canonical_rows() {
+	awk '
+	match($0, /"name": *"[^"]*"/) {
+		name = substr($0, RSTART, RLENGTH)
+		sub(/^"name": *"/, "", name); sub(/"$/, "", name)
+		sub(/-[0-9]+$/, "", name); sub(/#[0-9]+$/, "", name)
+		ns = ""; ts = 0
+		if (match($0, /"ns_op": *[0-9.e+-]+/)) {
+			ns = substr($0, RSTART, RLENGTH); sub(/^"ns_op": */, "", ns)
+		}
+		if (ns == "") next
+		if (match($0, /"trials_sec": *[0-9.e+-]+/)) {
+			ts = substr($0, RSTART, RLENGTH); sub(/^"trials_sec": */, "", ts)
+		}
+		if (!(name in best) || ns + 0 < best[name] + 0) best[name] = ns
+		if (ts + 0 > rate[name] + 0) rate[name] = ts
+	}
+	END { for (name in best) printf("%s %s %s\n", name, best[name], rate[name]) }
+	' "$1"
+}
+
+if [ "${1:-}" = "-compare" ]; then
+	if [ $# -ne 3 ]; then
+		echo "usage: scripts/bench.sh -compare OLD.json NEW.json" >&2
+		exit 2
+	fi
+	OLD_ROWS="$(mktemp)"
+	NEW_ROWS="$(mktemp)"
+	trap 'rm -f "$OLD_ROWS" "$NEW_ROWS"' EXIT
+	canonical_rows "$2" > "$OLD_ROWS"
+	canonical_rows "$3" > "$NEW_ROWS"
+	awk -v old="$2" -v new="$3" '
+	NR == FNR { ns[$1] = $2; next }
+	($1 in ns) {
+		ratio = $2 / ns[$1]
+		if (ratio > 1.10) {
+			printf("REGRESSION %s: %.0f -> %.0f ns/op (%+.1f%%)\n", $1, ns[$1], $2, (ratio - 1) * 100)
+			bad++
+		} else {
+			printf("ok         %s: %.0f -> %.0f ns/op (%+.1f%%)\n", $1, ns[$1], $2, (ratio - 1) * 100)
+		}
+	}
+	END {
+		if (bad) { printf("%d benchmark(s) regressed >10%% from %s to %s\n", bad, old, new); exit 1 }
+		print "no ns/op regressions over 10%"
+	}
+	' "$OLD_ROWS" "$NEW_ROWS"
+	exit $?
+fi
+
 cd "$(dirname "$0")/.."
 
 COUNT="${1:-1}"
@@ -20,22 +84,33 @@ trap 'rm -f "$RAW"' EXIT
 go test -run '^$' -bench "$PATTERN" -benchmem -count="$COUNT" ./... | tee "$RAW"
 
 awk -v count="$COUNT" '
-BEGIN { n = 0 }
 /^goos:/   { goos = $2 }
 /^goarch:/ { goarch = $2 }
 /^Benchmark/ {
-	ns = ""; bop = "0"; aop = "0"
+	name = $1
+	sub(/-[0-9]+$/, "", name); sub(/#[0-9]+$/, "", name)
+	ns = ""; bop = "0"; aop = "0"; ts = "0"
 	for (i = 2; i <= NF; i++) {
 		if ($i == "ns/op") ns = $(i-1)
 		else if ($i == "B/op") bop = $(i-1)
 		else if ($i == "allocs/op") aop = $(i-1)
+		else if ($i == "trials/sec") ts = $(i-1)
 	}
 	if (ns == "") next
-	if (n++) printf(",\n")
-	printf("    {\"name\": \"%s\", \"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}", $1, ns, bop, aop)
+	# Deduplicate: keep the fastest sample per canonical name.
+	if (!(name in best) || ns + 0 < best[name] + 0) {
+		if (!(name in best)) order[n++] = name
+		best[name] = ns; bops[name] = bop; aops[name] = aop
+	}
+	if (ts + 0 > rate[name] + 0) rate[name] = ts
 }
 END {
-	print ""
+	for (i = 0; i < n; i++) {
+		name = order[i]
+		printf("    {\"name\": \"%s\", \"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s", name, best[name], bops[name], aops[name])
+		if (rate[name] + 0 > 0) printf(", \"trials_sec\": %s", rate[name])
+		printf("}%s\n", i < n - 1 ? "," : "")
+	}
 	print "  ],"
 	printf("  \"goos\": \"%s\", \"goarch\": \"%s\", \"count\": %s\n", goos, goarch, count)
 	print "}"

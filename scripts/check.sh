@@ -10,9 +10,11 @@ set -eu
 cd "$(dirname "$0")/.."
 go vet ./...
 go test -race "$@" ./...
-# Benchmark smoke: one iteration of every tracked benchmark, so a change
-# that breaks a benchmark body (rather than its performance) fails the
-# gate instead of surfacing at the next scripts/bench.sh run.
+# Benchmark smoke: one iteration of every tracked benchmark — including
+# the packed Monte-Carlo kernel benches (BenchmarkMonteCarlo runs packed,
+# BenchmarkMonteCarloScalar the reference path) — so a change that breaks
+# a benchmark body (rather than its performance) fails the gate instead
+# of surfacing at the next scripts/bench.sh run.
 go test -run '^$' -bench 'MonteCarlo|CompilePipeline|Route|NewCosts|SearchSwaps|ServeCompile|Portfolio' -benchtime=1x ./...
 # Fuzz smoke: a short native-fuzzing burst on the untrusted-input
 # parsers (QASM source, calibration archives, nisqd request bodies). The
