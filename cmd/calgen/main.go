@@ -6,6 +6,11 @@
 //
 //	calgen -device q20 -seed 7 -summary
 //	calgen -device q20 -format csv > archive.csv
+//	calgen -device heavy-hex-399-high -format json > hh399.json
+//
+// Besides the named IBM models (q20, q16, q5), -device accepts any
+// synthetic zoo name of the form <family>-<qubits>[-<tier>]: families
+// heavy-hex, grid, ring, full; variance tiers low, mid (default), high.
 package main
 
 import (
@@ -21,7 +26,7 @@ import (
 
 func main() {
 	var (
-		deviceN = flag.String("device", "q20", "device model: q20 or q5")
+		deviceN = flag.String("device", "q20", "device model: q20, q16, q5, or a zoo name like heavy-hex-399-mid")
 		seed    = flag.Int64("seed", 2019, "generator seed")
 		days    = flag.Int("days", 0, "override number of observation days")
 		format  = flag.String("format", "summary", "output: summary, csv or json (json is loadable by nisqc -calib)")
@@ -44,10 +49,20 @@ func run(deviceN string, seed int64, days int, format string) error {
 	switch deviceN {
 	case "q20":
 		cfg = calib.DefaultQ20Config(seed)
+	case "q16":
+		cfg = calib.DefaultQ16Config(seed)
 	case "q5":
 		cfg = calib.DefaultQ5Config(seed)
 	default:
-		return fmt.Errorf("unknown device %q", deviceN)
+		// Synthetic zoo device: <family>-<n>[-<tier>]. The tier-scaled
+		// config (with its name-folded seed) comes from calib, so calgen
+		// output matches the fleet nisqc and nisqd materialize for the
+		// same name and seed.
+		var err error
+		cfg, err = calib.ZooGenConfig(deviceN, seed)
+		if err != nil {
+			return fmt.Errorf("unknown device %q: %v", deviceN, err)
+		}
 	}
 	if days > 0 {
 		cfg.Days = days

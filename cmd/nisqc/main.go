@@ -9,8 +9,10 @@
 //	nisqc -workload qft-12 -portfolio 2
 //
 // Workload names: alu, bv-N, qft-N, rnd-SD, rnd-LD, ghz-N, triswap.
-// Policies: native, baseline, vqm, vqm-hop, vqa+vqm.
-// Devices: q20 (IBM-Q20 model, default), q5 (IBM-Q5 model).
+// Policies: native, baseline, vqm, vqm-hop, vqa+vqm; -movement overrides
+// the routing pass (e.g. -movement sabre for large devices).
+// Devices: q20 (IBM-Q20 model, default), q16, q5, or any synthetic zoo
+// name like heavy-hex-399-mid (see -list-devices).
 //
 // -portfolio N switches from single-policy compilation to speculative
 // portfolio compilation: every allocation × movement × optimizer
@@ -24,7 +26,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 	"text/tabwriter"
 	"time"
 
@@ -34,8 +38,10 @@ import (
 	"vaq/internal/device"
 	"vaq/internal/portfolio"
 	"vaq/internal/qasm"
+	"vaq/internal/route"
 	"vaq/internal/schedule"
 	"vaq/internal/serve"
+	"vaq/internal/topo"
 	"vaq/internal/trials"
 	"vaq/internal/workloads"
 )
@@ -45,7 +51,9 @@ func main() {
 		workload = flag.String("workload", "", "built-in workload name (e.g. bv-16, qft-12, alu)")
 		qasmPath = flag.String("qasm", "", "path to an OpenQASM 2.0 program (alternative to -workload)")
 		policyN  = flag.String("policy", "vqa+vqm", "compilation policy: native, baseline, vqm, vqm-hop, vqa+vqm")
-		deviceN  = flag.String("device", "q20", "device model: q20, q16 or q5")
+		deviceN  = flag.String("device", "q20", "device model: q20, q16, q5, or a synthetic zoo name like heavy-hex-399-mid (see -list-devices)")
+		movement = flag.String("movement", "", "movement-policy override: "+strings.Join(route.MovementNames(), ", ")+" (default: the policy's own router; sabre scales past ~100 qubits)")
+		listDevs = flag.Bool("list-devices", false, "list the built-in device models and synthetic zoo families, then exit")
 		calibP   = flag.String("calib", "", "load the device from a calgen-produced JSON archive (mean snapshot) instead of -device")
 		seed     = flag.Int64("seed", 2019, "seed for the synthetic calibration archive")
 		trials   = flag.Int("trials", 100000, "Monte-Carlo trials")
@@ -57,6 +65,11 @@ func main() {
 		portfN   = flag.Int("portfolio", -1, "portfolio-compile over the N most recent calibration cycles plus the reference device (0: reference only, <0: off) and print the ranked candidates")
 	)
 	flag.Parse()
+
+	if *listDevs {
+		listDevices(os.Stdout)
+		return
+	}
 
 	if err := cliutil.All(
 		cliutil.Trials("trials", *trials),
@@ -71,10 +84,34 @@ func main() {
 	}
 	simWorkers = *workers
 	portfolioCycles = *portfN
+	movementPolicy = *movement
 	if err := run(*workload, *qasmPath, *policyN, *deviceN, *calibP, *seed, *trials, *verbose, *outcomes, *optimize); err != nil {
 		fmt.Fprintln(os.Stderr, "nisqc:", err)
 		os.Exit(1)
 	}
+}
+
+// listDevices prints the built-in device models and the synthetic zoo
+// families with their size bounds and variance tiers.
+func listDevices(w io.Writer) {
+	fmt.Fprintln(w, "built-in devices:")
+	fmt.Fprintln(w, "  q20  IBM-Q20 (Tokyo) synthetic archive, 20 qubits")
+	fmt.Fprintln(w, "  q16  IBM-Q16 (Rüschlikon) synthetic archive, 16 qubits")
+	fmt.Fprintln(w, "  q5   IBM-Q5 (Tenerife) published snapshot, 5 qubits")
+	fmt.Fprintln(w, "\nsynthetic zoo families (name form <family>-<qubits>[-<tier>]):")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  family\tqubits\ttiers\tdescription")
+	tiers := make([]string, 0, 3)
+	for _, t := range calib.Tiers() {
+		tiers = append(tiers, string(t))
+	}
+	for _, f := range topo.Families() {
+		fmt.Fprintf(tw, "  %s\t%d–%d\t%s\tdefault mid; %s\n",
+			f.Name, f.MinQubits, f.MaxQubits, strings.Join(tiers, "/"), f.Description)
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "\nexamples: -device heavy-hex-399, -device grid-100-high, -device ring-64-low")
+	fmt.Fprintln(w, "tip: pair large devices with -movement sabre (the A*-based policies are quadratic+)")
 }
 
 func run(workload, qasmPath, policyName, deviceName, calibPath string, seed int64, mcTrials int, verbose, outcomes, optimize bool) error {
@@ -130,18 +167,23 @@ func loadDevice(deviceName, calibPath string, seed int64) (*device.Device, *cali
 		s := calib.TenerifeSnapshot()
 		arch := &calib.Archive{Topo: s.Topo, Snapshots: []*calib.Snapshot{s}}
 		return device.MustNew(s.Topo, s), arch, nil
-	default:
-		return nil, nil, fmt.Errorf("unknown device %q (want q20, q16 or q5)", deviceName)
 	}
+	// Fall through to the synthetic device zoo: <family>-<n>[-<tier>].
+	arch, err := calib.ZooArchive(deviceName, seed)
+	if err != nil {
+		return nil, nil, fmt.Errorf("unknown device %q (want q20, q16, q5, or a zoo name — see -list-devices): %v", deviceName, err)
+	}
+	return device.MustNew(arch.Topo, arch.MustMean()), arch, nil
 }
 
-// timelineRequested, simWorkers, and portfolioCycles mirror the
-// -timeline, -workers, and -portfolio flags (kept package-level so the
-// testable run() signature stays stable).
+// timelineRequested, simWorkers, portfolioCycles, and movementPolicy
+// mirror the -timeline, -workers, -portfolio, and -movement flags (kept
+// package-level so the testable run() signature stays stable).
 var (
 	timelineRequested bool
 	simWorkers        int
 	portfolioCycles   = -1
+	movementPolicy    string
 )
 
 // portfolioAndReport runs the speculative portfolio compiler and prints
@@ -196,6 +238,7 @@ func compileAndReport(d *device.Device, prog *circuit.Circuit, policyName string
 		Trials:   mcTrials,
 		Workers:  simWorkers,
 		Optimize: optimize,
+		Movement: movementPolicy,
 	})
 	if err != nil {
 		return err

@@ -87,6 +87,12 @@ type Options struct {
 	Seed int64
 	// MaxExpansions caps the per-layer A* search (0: default).
 	MaxExpansions int
+	// Movement, when non-empty, replaces the policy's routing pass with
+	// the named movement policy (route.MovementNames lists the valid
+	// names; "sabre" is the scalable choice past ~100 qubits). The
+	// policy's allocation behavior is preserved: VQAVQM still picks the
+	// best-scoring allocation candidate, only routed by the override.
+	Movement string
 }
 
 // Compiled is the result of one compilation.
@@ -117,6 +123,9 @@ func Compile(d *device.Device, prog *circuit.Circuit, opts Options) (*Compiled, 
 	if opts.Optimize {
 		prog, _ = transpile.Optimize(prog)
 	}
+	if opts.Movement != "" {
+		return compileWithMovement(d, prog, opts)
+	}
 	switch opts.Policy {
 	case VQM, VQMHop, VQAVQM:
 		return compileBestCandidate(d, prog, opts)
@@ -126,6 +135,41 @@ func Compile(d *device.Device, prog *circuit.Circuit, opts Options) (*Compiled, 
 		return nil, err
 	}
 	return CompileWith(d, prog, opts, allocator, router)
+}
+
+// compileWithMovement routes with an explicit movement-policy override
+// while keeping the policy's allocation behavior: Native keeps its
+// randomized mapping, VQAVQM still races its allocation candidates and
+// keeps the analytic winner, everything else allocates greedily.
+func compileWithMovement(d *device.Device, prog *circuit.Circuit, opts Options) (*Compiled, error) {
+	router, err := route.ByName(opts.Movement, opts.MaxExpansions)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	switch opts.Policy {
+	case Native:
+		return CompileWith(d, prog, opts, alloc.NewRandom(opts.Seed), router)
+	case VQAVQM:
+		allocs := []alloc.Policy{alloc.VQA{ActivityLayers: opts.ActivityLayers}, alloc.Greedy{}}
+		if opts.ReadoutWeight > 0 {
+			allocs = append(allocs, alloc.VQA{ActivityLayers: opts.ActivityLayers, ReadoutWeight: opts.ReadoutWeight})
+		}
+		var best *Compiled
+		bestScore := -1.0
+		for _, a := range allocs {
+			c, err := CompileWith(d, prog, opts, a, router)
+			if err != nil {
+				return nil, err
+			}
+			if s := analyticScore(d, c); s > bestScore {
+				best, bestScore = c, s
+			}
+		}
+		best.Policy = opts.Policy
+		return best, nil
+	default:
+		return CompileWith(d, prog, opts, alloc.Greedy{}, router)
+	}
 }
 
 // compileBestCandidate compiles the variation-aware policies. Each policy

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"testing"
+
+	"vaq/internal/calib"
+)
+
+// TestScaleSweep runs the sweep on a trimmed size list (the full grid
+// is exercised by `repro -experiment scale`) and checks shape, bounds
+// and determinism across worker counts.
+func TestScaleSweep(t *testing.T) {
+	defer func(orig []int) { scaleSizes = orig }(scaleSizes)
+	scaleSizes = []int{20, 100}
+
+	cfg := Config{Seed: 2019, Trials: 100}
+	rows, err := ScaleSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(scaleSizes) * len(calib.Tiers()); len(rows) != want {
+		t.Fatalf("%d rows, want %d", len(rows), want)
+	}
+	for _, r := range rows {
+		if r.BaselinePST <= 0 || r.BaselinePST > 1 || r.AwarePST <= 0 || r.AwarePST > 1 {
+			t.Errorf("hh%d-%s: PSTs out of range: %+v", r.Qubits, r.Tier, r)
+		}
+		if r.BaselineSwaps <= 0 || r.AwareSwaps <= 0 {
+			t.Errorf("hh%d-%s: expected swaps on a scattered BV-16: %+v", r.Qubits, r.Tier, r)
+		}
+	}
+
+	serial, err := ScaleSweep(Config{Seed: 2019, Trials: 100, Workers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		if rows[i] != serial[i] {
+			t.Fatalf("row %d differs across worker counts:\nparallel %+v\nserial   %+v", i, rows[i], serial[i])
+		}
+	}
+}

@@ -41,17 +41,28 @@ import (
 )
 
 // Allocation and movement axis labels. The movement names follow the
-// paper's policy vocabulary: "baseline" is the SWAP-minimizing hop-cost
-// A*, "vqm" the reliability-cost A*, "vqm-hop" its MAH=4 variant.
+// paper's policy vocabulary via the route package registry: "baseline"
+// is the SWAP-minimizing hop-cost A*, "vqm" the reliability-cost A*,
+// "vqm-hop" its MAH=4 variant, "sabre" the scalable SABRE-style
+// reliability router.
 const (
 	AllocGreedy = "greedy"
 	AllocVQA    = "vqa"
 	AllocRandom = "random"
 
-	MoverBaseline = "baseline"
-	MoverVQM      = "vqm"
-	MoverVQMHop   = "vqm-hop"
+	MoverBaseline = route.MovementBaseline
+	MoverVQM      = route.MovementVQM
+	MoverVQMHop   = route.MovementVQMHop
+	MoverSabre    = route.MovementSabre
 )
+
+// gridMovers is the movement axis of the candidate grid. sabre-hops is
+// resolvable by name but intentionally off the grid: on the small
+// devices the portfolio targets it duplicates baseline's objective at
+// worse quality, so it would only dilute the ESP ranking.
+func gridMovers() []string {
+	return []string{MoverBaseline, MoverVQM, MoverVQMHop, MoverSabre}
+}
 
 // MeanCycle is the Cycle value of candidates compiled against the
 // reference device (the archive-mean snapshot) rather than one specific
@@ -191,7 +202,7 @@ func Grid(spec Spec, arch *calib.Archive) []CandidateSpec {
 	for s := 0; s < spec.RandomStarts; s++ {
 		allocs = append(allocs, allocPoint{AllocRandom, s})
 	}
-	movers := []string{MoverBaseline, MoverVQM, MoverVQMHop}
+	movers := gridMovers()
 
 	var grid []CandidateSpec
 	for _, cyc := range cycles {
@@ -223,7 +234,7 @@ func GridSize(spec Spec, availableCycles int) int {
 	if k > availableCycles {
 		k = availableCycles
 	}
-	return (1 + k) * (2 + spec.RandomStarts) * 3 * 2
+	return (1 + k) * (2 + spec.RandomStarts) * len(gridMovers()) * 2
 }
 
 // Seed-stream salts keeping compilation and Monte-Carlo refinement on
@@ -338,18 +349,15 @@ func allocator(c CandidateSpec) (alloc.Policy, error) {
 	}
 }
 
-// mover materializes a candidate's movement policy.
+// mover materializes a candidate's movement policy via the route
+// registry, so the grid axis and the CLI/service `movement` knob accept
+// exactly the same names.
 func mover(c CandidateSpec) (route.Router, error) {
-	switch c.Mover {
-	case MoverBaseline:
-		return route.AStar{Cost: route.CostHops, MAH: -1}, nil
-	case MoverVQM:
-		return route.AStar{Cost: route.CostReliability, MAH: -1}, nil
-	case MoverVQMHop:
-		return route.AStar{Cost: route.CostReliability, MAH: 4}, nil
-	default:
-		return nil, fmt.Errorf("portfolio: unknown movement policy %q", c.Mover)
+	r, err := route.ByName(c.Mover, 0)
+	if err != nil {
+		return nil, fmt.Errorf("portfolio: %w", err)
 	}
+	return r, nil
 }
 
 // cycleDevices builds the per-cycle device models the grid references:

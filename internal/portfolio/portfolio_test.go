@@ -12,6 +12,7 @@ import (
 	"vaq/internal/calib"
 	"vaq/internal/device"
 	"vaq/internal/parallel"
+	"vaq/internal/route"
 	"vaq/internal/workloads"
 )
 
@@ -52,9 +53,21 @@ func TestGridDeterministicAndSized(t *testing.T) {
 	if fmt.Sprint(g1) != fmt.Sprint(g2) {
 		t.Fatal("grid enumeration is not deterministic")
 	}
-	// (2 greedy/vqa + 1 random) × 3 movers × 2 optimize × (mean + 1 cycle)
-	if want := 3 * 3 * 2 * 2; len(g1) != want {
+	// (2 greedy/vqa + 1 random) × 4 movers × 2 optimize × (mean + 1 cycle)
+	if want := 3 * 4 * 2 * 2; len(g1) != want {
 		t.Fatalf("grid has %d candidates, want %d", len(g1), want)
+	}
+	// The sabre movement axis is on the grid; sabre-hops deliberately is
+	// not (it duplicates baseline's objective) but stays name-resolvable.
+	movers := map[string]bool{}
+	for _, c := range g1 {
+		movers[c.Mover] = true
+	}
+	if !movers[MoverSabre] {
+		t.Errorf("grid movers %v missing %q", movers, MoverSabre)
+	}
+	if movers[route.MovementSabreHops] {
+		t.Errorf("sabre-hops should stay off the default grid")
 	}
 	seen := map[int64]bool{}
 	for i, c := range g1 {
@@ -86,7 +99,7 @@ func TestGridNilArchive(t *testing.T) {
 			t.Fatalf("nil-archive grid has cycle %d", c.Cycle)
 		}
 	}
-	if want := 3 * 3 * 2; len(g) != want {
+	if want := 3 * 4 * 2; len(g) != want {
 		t.Fatalf("nil-archive grid has %d candidates, want %d", len(g), want)
 	}
 }

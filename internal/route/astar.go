@@ -33,10 +33,19 @@ type costs struct {
 	// adjCost[a][b]: lower-estimate cost to make qubits at a and b
 	// adjacent (each may move): min over coupling (u,v) of
 	// min(dist[a][u]+dist[b][v], dist[a][v]+dist[b][u]).
+	//
+	// adjCost and adjHops are built lazily by ensureAdj: they cost
+	// O(n²·|E|) — minutes of CPU at 1000 qubits — and only the A*
+	// heuristic consults them. Sabre routes off dist/hops/coupled alone,
+	// so large-device SABRE runs never pay for them.
 	adjCost [][]float64
 	// adjHops[a][b]: same quantity under hop counting — the minimum swaps
 	// needed to make a and b adjacent, used for the MAH budget.
 	adjHops [][]float64
+	// adjOnce guards the lazy adjCost/adjHops build; hopEdges is retained
+	// from construction for it.
+	adjOnce  sync.Once
+	hopEdges []graphx.Edge
 	// coupled is the flat n×n coupling-adjacency table; the satisfied()
 	// goal test consults it instead of scanning the topology's coupling
 	// list per query.
@@ -59,21 +68,31 @@ func newCosts(d *device.Device, model CostModel) *costs {
 	}
 	hopGraph := d.HopGraph()
 	cm := &costs{
-		model: model,
-		n:     n,
-		edges: swapGraph.Edges(),
-		graph: swapGraph,
-		dist:  swapGraph.CSR().AllPairsDijkstra(),
-		hops:  hopGraph.CSR().AllPairsHops(),
+		model:    model,
+		n:        n,
+		edges:    swapGraph.Edges(),
+		graph:    swapGraph,
+		dist:     swapGraph.CSR().AllPairsDijkstra(),
+		hops:     hopGraph.CSR().AllPairsHops(),
+		hopEdges: hopGraph.Edges(),
 	}
-	cm.adjCost = adjacencyMatrix(cm.edges, cm.dist, n)
-	cm.adjHops = adjacencyMatrix(hopGraph.Edges(), cm.hops, n)
 	cm.coupled = make([]bool, n*n)
 	for _, c := range d.Topology().Couplings {
 		cm.coupled[c.A*n+c.B] = true
 		cm.coupled[c.B*n+c.A] = true
 	}
 	return cm
+}
+
+// ensureAdj builds the adjacency-cost matrices on first use. The cached
+// *costs value stays effectively immutable: the build runs under a
+// sync.Once, and after it the matrices are never written again, so
+// concurrent readers are race-free exactly as before.
+func (cm *costs) ensureAdj() {
+	cm.adjOnce.Do(func() {
+		cm.adjCost = adjacencyMatrix(cm.edges, cm.dist, cm.n)
+		cm.adjHops = adjacencyMatrix(cm.hopEdges, cm.hops, cm.n)
+	})
 }
 
 // adjacencyMatrix computes, for every physical pair (a,b), the cheapest

@@ -7,16 +7,19 @@ import (
 )
 
 // BenchmarkNewCosts measures a cold cost-table build for the Q20 machine:
-// two all-pairs distance matrices plus the adjacency tables. This is the
+// two all-pairs distance matrices plus the adjacency tables (forced here,
+// since they are otherwise built lazily on first A* use). This is the
 // work the cost cache amortizes away.
 func BenchmarkNewCosts(b *testing.B) {
 	d := goldenQ20()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if cm := newCosts(d, CostReliability); cm == nil {
+		cm := newCosts(d, CostReliability)
+		if cm == nil {
 			b.Fatal("nil cost table")
 		}
+		cm.ensureAdj()
 	}
 }
 
@@ -27,6 +30,7 @@ func BenchmarkNewCosts(b *testing.B) {
 func BenchmarkSearchSwaps(b *testing.B) {
 	d := goldenQ20()
 	cm := cachedCosts(d, CostReliability)
+	cm.ensureAdj() // searchSwaps is called below without going through Route
 	r := AStar{Cost: CostReliability, MAH: -1}
 	m := identity(20)
 	pairs := [][2]int{{0, 7}, {5, 12}, {10, 17}, {4, 13}}

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"vaq/internal/device"
+	"vaq/internal/metrics"
 )
 
 // The cost cache memoizes the per-device search tables (two all-pairs
@@ -39,7 +40,23 @@ type costEntry struct {
 var (
 	costMu    sync.Mutex
 	costTable = make(map[costKey]*costEntry)
+	// cacheStats counts table lookups: a hit is an existing entry (even
+	// one still being built under its Once), a miss creates an entry, and
+	// an eviction counts every entry dropped by the overflow sweep. Large
+	// synthetic fleets churn fingerprints; these counters make that churn
+	// visible at /metrics as nisqd_route_cache_*.
+	cacheStats metrics.CacheCounters
 )
+
+// CacheStats reads the cost-cache hit/miss/eviction counters.
+func CacheStats() metrics.CacheSnapshot { return cacheStats.Snapshot() }
+
+// CacheLen reports the number of memoized cost tables.
+func CacheLen() int {
+	costMu.Lock()
+	defer costMu.Unlock()
+	return len(costTable)
+}
 
 // maxCostEntries bounds the cache. A 104-day sweep needs 2 models × 104
 // fingerprints ≈ 208 live entries; the bound only matters for pathological
@@ -55,12 +72,18 @@ func cachedCosts(d *device.Device, model CostModel) *costs {
 	e, ok := costTable[key]
 	if !ok {
 		if len(costTable) >= maxCostEntries {
+			cacheStats.Evict(uint64(len(costTable)))
 			costTable = make(map[costKey]*costEntry, maxCostEntries/4)
 		}
 		e = &costEntry{}
 		costTable[key] = e
 	}
 	costMu.Unlock()
+	if ok {
+		cacheStats.Hit()
+	} else {
+		cacheStats.Miss()
+	}
 	e.once.Do(func() { e.cm = newCosts(d, model) })
 	return e.cm
 }

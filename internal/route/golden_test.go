@@ -52,6 +52,14 @@ func goldenQ5() *device.Device {
 	return uniformDevice(topo.IBMQ5(), 0.04)
 }
 
+func goldenHH399() *device.Device {
+	arch, err := calib.ZooArchive("heavy-hex-399-mid", 2019)
+	if err != nil {
+		panic(err)
+	}
+	return device.MustNew(arch.Topo, arch.MustMean())
+}
+
 func identityInit(d *device.Device, c *circuit.Circuit) alloc.Mapping {
 	return identity(c.NumQubits)
 }
@@ -102,6 +110,15 @@ func goldenCases() []goldenCase {
 		{"q5/triswap/mah4", goldenQ5, func() *circuit.Circuit {
 			return circuit.New("triswap", 3).X(0).Swap(0, 1).Swap(1, 2).Swap(0, 1).MeasureAll()
 		}, permInit(4), mah4, 0xcaff12d33c513115},
+		// SABRE cases, pinned when the heuristic router landed. The A*
+		// hashes above must never move because of these.
+		{"q20/bv16/sabre-hops", goldenQ20, func() *circuit.Circuit { return workloads.BV(16) }, identityInit, Sabre{Cost: CostHops}, 0x981b4780a352ccbb},
+		{"q20/bv16/sabre-rel", goldenQ20, func() *circuit.Circuit { return workloads.BV(16) }, identityInit, Sabre{Cost: CostReliability}, 0x5c9813711b042134},
+		{"q20/qft8/sabre-rel", goldenQ20, func() *circuit.Circuit { return workloads.QFT(8) }, permInit(7), Sabre{Cost: CostReliability}, 0x5228e65ad7b4c315},
+		{"q20/rand12/sabre-rel", goldenQ20, func() *circuit.Circuit { return goldenRandomCircuit(12, 40, 11) }, permInit(3), Sabre{Cost: CostReliability}, 0xd8a9387e4196d085},
+		{"ring5/rand4/sabre-hops", ring5Fig1, func() *circuit.Circuit { return goldenRandomCircuit(4, 20, 5) }, permInit(9), Sabre{Cost: CostHops}, 0xbf9ec707a545d8a9},
+		{"hh399/bv40/sabre-hops", goldenHH399, func() *circuit.Circuit { return workloads.BV(40) }, permInit(13), Sabre{Cost: CostHops}, 0x107e44b4ef80f477},
+		{"hh399/bv40/sabre-rel", goldenHH399, func() *circuit.Circuit { return workloads.BV(40) }, permInit(13), Sabre{Cost: CostReliability}, 0xe64414e2ec6c755a},
 	}
 }
 

@@ -120,6 +120,7 @@ func (r AStar) Route(d *device.Device, c *circuit.Circuit, initial alloc.Mapping
 		return nil, err
 	}
 	cm := cachedCosts(d, r.Cost)
+	cm.ensureAdj() // the A* heuristic reads adjCost/adjHops
 	maxExp := r.MaxExpansions
 	if maxExp <= 0 {
 		maxExp = 50000

@@ -449,6 +449,7 @@ func TestVerifyCatchesCorruptedCompilation(t *testing.T) {
 func TestHeuristicZeroForAdjacentPairs(t *testing.T) {
 	d := uniformDevice(topo.Linear(3), 0.05)
 	cm := newCosts(d, CostReliability)
+	cm.ensureAdj()
 	if h := cm.heuristic(alloc.Mapping{0, 1}, [][2]int{{0, 1}}); h != 0 {
 		t.Fatalf("heuristic for adjacent pair = %v, want 0", h)
 	}
@@ -460,6 +461,7 @@ func TestHeuristicZeroForAdjacentPairs(t *testing.T) {
 func TestAdjacencyMatrixSymmetricUnderSwap(t *testing.T) {
 	d := uniformDevice(topo.IBMQ20(), 0.05)
 	cm := newCosts(d, CostHops)
+	cm.ensureAdj()
 	for a := 0; a < 20; a++ {
 		for b := 0; b < 20; b++ {
 			if a == b {

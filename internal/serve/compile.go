@@ -39,6 +39,10 @@ type Spec struct {
 	// SkipMonteCarlo leaves Result.MC zeroed and MC absent from the
 	// report (the /v1/estimate endpoint's analytic-only mode).
 	SkipMonteCarlo bool
+	// Movement overrides the policy's routing pass (route.MovementNames;
+	// "" means the policy's own router). Part of the cache identity: the
+	// routed circuit differs per router.
+	Movement string
 }
 
 // ProgramInfo summarizes the logical program.
@@ -122,7 +126,7 @@ func Run(d *device.Device, prog *circuit.Circuit, spec Spec) (*Result, error) {
 	if !sim.ValidKernel(spec.Kernel) {
 		return nil, fmt.Errorf("unknown kernel %q", spec.Kernel)
 	}
-	comp, err := core.Compile(d, prog, core.Options{Policy: policy, Seed: spec.Seed, Optimize: spec.Optimize})
+	comp, err := core.Compile(d, prog, core.Options{Policy: policy, Seed: spec.Seed, Optimize: spec.Optimize, Movement: spec.Movement})
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"vaq/internal/route"
 )
 
 // latencyBounds are the upper bounds (seconds) of the request-latency
@@ -122,6 +124,23 @@ func (m *metricsState) render() string {
 	b.WriteString("# HELP nisqd_cache_misses_total Response-cache misses.\n")
 	b.WriteString("# TYPE nisqd_cache_misses_total counter\n")
 	fmt.Fprintf(&b, "nisqd_cache_misses_total %d\n", m.misses)
+	// Route cost-table cache: process-global (package route), not
+	// per-server, so a fleet of synthetic large devices churning the
+	// 1024-entry table shows up here instead of silently rebuilding
+	// O(n²) tables per request.
+	rc := route.CacheStats()
+	b.WriteString("# HELP nisqd_route_cache_hits_total Route cost-table cache hits (process-wide).\n")
+	b.WriteString("# TYPE nisqd_route_cache_hits_total counter\n")
+	fmt.Fprintf(&b, "nisqd_route_cache_hits_total %d\n", rc.Hits)
+	b.WriteString("# HELP nisqd_route_cache_misses_total Route cost-table cache misses (table builds).\n")
+	b.WriteString("# TYPE nisqd_route_cache_misses_total counter\n")
+	fmt.Fprintf(&b, "nisqd_route_cache_misses_total %d\n", rc.Misses)
+	b.WriteString("# HELP nisqd_route_cache_evictions_total Route cost-table entries dropped by the bound sweep.\n")
+	b.WriteString("# TYPE nisqd_route_cache_evictions_total counter\n")
+	fmt.Fprintf(&b, "nisqd_route_cache_evictions_total %d\n", rc.Evictions)
+	b.WriteString("# HELP nisqd_route_cache_entries Route cost-table entries currently cached.\n")
+	b.WriteString("# TYPE nisqd_route_cache_entries gauge\n")
+	fmt.Fprintf(&b, "nisqd_route_cache_entries %d\n", route.CacheLen())
 	b.WriteString("# HELP nisqd_mc_trials_total Monte-Carlo trials simulated, by kernel.\n")
 	b.WriteString("# TYPE nisqd_mc_trials_total counter\n")
 	for _, k := range sortedKeys(m.mcTrials) {

@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestCompileMovementOverride: the movement field swaps the router while
+// keeping the policy's allocator, and participates in the cache key —
+// the same request with and without movement must be two cache entries.
+func TestCompileMovementOverride(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	base := `{"workload":"bv-8","policy":"vqm","device":"q20","seed":2019,"trials":1000`
+	resp, body := post(t, ts.URL+"/v1/compile", base+`}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	respS, bodyS := post(t, ts.URL+"/v1/compile", base+`,"movement":"sabre"}`)
+	if respS.StatusCode != http.StatusOK {
+		t.Fatalf("sabre status %d: %s", respS.StatusCode, bodyS)
+	}
+	if got := respS.Header.Get("X-Nisqd-Cache"); got != "miss" {
+		t.Errorf("movement variant served from cache (%q): movement missing from the cache key", got)
+	}
+
+	var plain, sabre Result
+	if err := json.Unmarshal(body, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(bodyS, &sabre); err != nil {
+		t.Fatal(err)
+	}
+	if plain.Router == sabre.Router {
+		t.Fatalf("movement override did not change the router: both %q", plain.Router)
+	}
+	if sabre.Router != "sabre-reliability" {
+		t.Errorf("movement=sabre routed with %q, want sabre-reliability", sabre.Router)
+	}
+}
+
+// TestCompileMovementValidation: unknown movement policies are a 400
+// whose message lists the valid names.
+func TestCompileMovementValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := post(t, ts.URL+"/v1/compile",
+		`{"workload":"bv-4","policy":"vqm","device":"q20","movement":"teleport"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", resp.StatusCode, body)
+	}
+	for _, name := range []string{"sabre", "baseline", "vqm"} {
+		if !strings.Contains(string(body), name) {
+			t.Errorf("error body %s does not list policy %q", body, name)
+		}
+	}
+}
+
+// TestCompileZooDevice: a synthetic zoo name is materialized on demand
+// and compiled against like any registered device; SABRE keeps the
+// large sizes tractable.
+func TestCompileZooDevice(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := post(t, ts.URL+"/v1/compile",
+		`{"workload":"bv-16","policy":"vqm","device":"heavy-hex-100-high","movement":"sabre","seed":7,"trials":500}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var res Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Router != "sabre-reliability" {
+		t.Errorf("router %q, want sabre-reliability", res.Router)
+	}
+
+	// The fleet is deterministic in (name, server seed): a second
+	// identical request is a response-cache hit.
+	resp2, _ := post(t, ts.URL+"/v1/compile",
+		`{"workload":"bv-16","policy":"vqm","device":"heavy-hex-100-high","movement":"sabre","seed":7,"trials":500}`)
+	if got := resp2.Header.Get("X-Nisqd-Cache"); got != "hit" {
+		t.Errorf("repeat zoo compile cache header = %q, want hit", got)
+	}
+
+	// Unknown zoo sizes surface the zoo error, not the generic listing.
+	resp3, body3 := post(t, ts.URL+"/v1/compile",
+		`{"workload":"bv-4","policy":"vqm","device":"heavy-hex-3"}`)
+	if resp3.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404: %s", resp3.StatusCode, body3)
+	}
+}

@@ -47,8 +47,8 @@ func TestPortfolioGolden(t *testing.T) {
 	if err := json.Unmarshal(body, &res); err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Candidates) != 18 {
-		t.Fatalf("ranked %d candidates, want 18", len(res.Candidates))
+	if len(res.Candidates) != 24 {
+		t.Fatalf("ranked %d candidates, want 24", len(res.Candidates))
 	}
 	if res.Candidates[0].Rank != 1 || res.Candidates[0].MCResult == nil {
 		t.Errorf("winner not MC-refined: %+v", res.Candidates[0])
@@ -72,9 +72,9 @@ func TestPortfolioCyclesWindow(t *testing.T) {
 	if err := json.Unmarshal(body, &res); err != nil {
 		t.Fatal(err)
 	}
-	// (mean + 1 cycle) × 2 allocs × 3 movers × 2 optimize.
-	if len(res.Candidates) != 24 {
-		t.Fatalf("ranked %d candidates, want 24", len(res.Candidates))
+	// (mean + 1 cycle) × 2 allocs × 4 movers × 2 optimize.
+	if len(res.Candidates) != 32 {
+		t.Fatalf("ranked %d candidates, want 32", len(res.Candidates))
 	}
 	_, arch, err := s.lookupDeviceArchive("q20")
 	if err != nil || arch == nil {

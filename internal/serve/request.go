@@ -11,6 +11,7 @@ import (
 	"vaq/internal/cliutil"
 	"vaq/internal/core"
 	"vaq/internal/qasm"
+	"vaq/internal/route"
 	"vaq/internal/sim"
 	"vaq/internal/workloads"
 )
@@ -62,6 +63,10 @@ type CompileRequest struct {
 	// default) or "scalar" (the reference path). Omitted means the
 	// server's configured default.
 	Kernel string `json:"kernel,omitempty"`
+	// Movement overrides the policy's routing pass with a named movement
+	// policy (route.MovementNames; e.g. "sabre" for large devices).
+	// Omitted means the policy's own router.
+	Movement string `json:"movement,omitempty"`
 }
 
 // BatchRequest is the body of POST /v1/batch.
@@ -155,6 +160,11 @@ func (r *CompileRequest) validate(maxTrials int) error {
 	if !sim.ValidKernel(r.Kernel) {
 		return badReqf("unknown kernel %q (valid: %q, %q)", r.Kernel, sim.KernelPacked, sim.KernelScalar)
 	}
+	if r.Movement != "" {
+		if _, err := route.ByName(r.Movement, 0); err != nil {
+			return badReqf("%v", err)
+		}
+	}
 	return nil
 }
 
@@ -204,6 +214,6 @@ func (r *CompileRequest) Program() (*circuit.Circuit, error) {
 func CacheKey(endpoint string, deviceFP uint64, prog *circuit.Circuit, spec Spec) string {
 	h := fnv.New64a()
 	h.Write([]byte(qasm.Serialize(prog)))
-	return fmt.Sprintf("%s|%016x|%016x|%s|%d|%d|%t|%s|%t",
-		endpoint, deviceFP, h.Sum64(), spec.Policy, spec.Seed, spec.Trials, spec.Optimize, spec.Kernel, spec.SkipMonteCarlo)
+	return fmt.Sprintf("%s|%016x|%016x|%s|%d|%d|%t|%s|%t|%s",
+		endpoint, deviceFP, h.Sum64(), spec.Policy, spec.Seed, spec.Trials, spec.Optimize, spec.Kernel, spec.SkipMonteCarlo, spec.Movement)
 }

@@ -12,6 +12,7 @@ import (
 	"net/http/pprof"
 	"regexp"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -19,6 +20,7 @@ import (
 	"vaq/internal/circuit"
 	"vaq/internal/device"
 	"vaq/internal/parallel"
+	"vaq/internal/topo"
 )
 
 // Config tunes a Server. The zero value is usable: withDefaults fills
@@ -267,36 +269,88 @@ var errUnknownDevice = errors.New("unknown device")
 
 // lookupDevice resolves a registered device name.
 func (s *Server) lookupDevice(name string) (*device.Device, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	d, ok := s.devices[name]
-	if !ok {
-		names := make([]string, 0, len(s.devices))
-		for n := range s.devices {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		return nil, fmt.Errorf("%w %q (registered: %v)", errUnknownDevice, name, names)
-	}
-	return d, nil
+	d, _, err := s.lookupDeviceArchive(name)
+	return d, err
 }
 
 // lookupDeviceArchive resolves a device together with its calibration
 // archive. The archive may be nil — the portfolio compiler treats that
-// as a reference-device-only grid.
+// as a reference-device-only grid. Names not in the registry fall
+// through to the synthetic device zoo: "<family>-<n>[-<tier>]" (e.g.
+// heavy-hex-399-mid) materializes a deterministic variance-tiered fleet
+// on first use and registers it like any other device.
 func (s *Server) lookupDeviceArchive(name string) (*device.Device, *calib.Archive, error) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	d, ok := s.devices[name]
-	if !ok {
-		names := make([]string, 0, len(s.devices))
-		for n := range s.devices {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		return nil, nil, fmt.Errorf("%w %q (registered: %v)", errUnknownDevice, name, names)
+	arch := s.archives[name]
+	s.mu.RUnlock()
+	if ok {
+		return d, arch, nil
 	}
-	return d, s.archives[name], nil
+	d, arch, zooErr := s.resolveZoo(name)
+	if zooErr == nil {
+		return d, arch, nil
+	}
+	if zooName(name) {
+		// The name targets a zoo family; its own error (bad size, bad
+		// tier, registry full) is more useful than the registry listing.
+		return nil, nil, fmt.Errorf("%w %q: %v", errUnknownDevice, name, zooErr)
+	}
+	s.mu.RLock()
+	names := make([]string, 0, len(s.devices))
+	for n := range s.devices {
+		names = append(names, n)
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+	return nil, nil, fmt.Errorf("%w %q (registered: %v; synthetic: <family>-<qubits>[-<tier>], families %v, tiers %v)",
+		errUnknownDevice, name, names, familyNames(), calib.Tiers())
+}
+
+// zooName reports whether name targets a zoo family ("<family>-…").
+func zooName(name string) bool {
+	for _, f := range topo.Families() {
+		if strings.HasPrefix(name, f.Name+"-") {
+			return true
+		}
+	}
+	return false
+}
+
+func familyNames() []string {
+	fams := topo.Families()
+	out := make([]string, len(fams))
+	for i, f := range fams {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// resolveZoo materializes the synthetic device named by a zoo device
+// name, registering it (and its archive) under the same bounded
+// registry as uploaded calibrations. Idempotent and deterministic: the
+// fleet is a pure function of (name, server seed), so a concurrent
+// double resolve builds identical devices and keeps the first.
+func (s *Server) resolveZoo(name string) (*device.Device, *calib.Archive, error) {
+	arch, err := calib.ZooArchive(name, s.cfg.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	d, err := device.New(arch.Topo, arch.MustMean())
+	if err != nil {
+		return nil, nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if existing, ok := s.devices[name]; ok {
+		return existing, s.archives[name], nil
+	}
+	if len(s.devices) >= s.cfg.MaxDevices {
+		return nil, nil, fmt.Errorf("device registry full (%d entries)", s.cfg.MaxDevices)
+	}
+	s.devices[name] = d
+	s.archives[name] = arch
+	return d, arch, nil
 }
 
 // readBody drains a capped request body.
@@ -340,6 +394,7 @@ func (s *Server) spec(req *CompileRequest, skipMC bool) Spec {
 		Optimize:       req.Optimize,
 		Kernel:         kernel,
 		SkipMonteCarlo: skipMC,
+		Movement:       req.Movement,
 	}
 }
 
@@ -603,9 +658,46 @@ func (s *Server) handleCalibration(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// devicesResponse lists the registered device models.
+// devicesResponse lists the registered device models plus the
+// parametric synthetic families any request may name on demand.
 type devicesResponse struct {
 	Devices []namedDevice `json:"devices"`
+	// Families describes the synthetic device zoo: request one with
+	// device "<family>-<qubits>[-<tier>]" (e.g. "heavy-hex-399-high");
+	// it is generated deterministically from the server seed and
+	// registered on first use.
+	Families []deviceFamily `json:"families"`
+}
+
+type deviceFamily struct {
+	Family      string   `json:"family"`
+	Description string   `json:"description"`
+	MinQubits   int      `json:"min_qubits"`
+	MaxQubits   int      `json:"max_qubits"`
+	Tiers       []string `json:"tiers"`
+	Naming      string   `json:"naming"`
+}
+
+// zooFamilies renders the topo family registry for listings (shared by
+// /v1/devices and nisqc -list-devices via this package).
+func zooFamilies() []deviceFamily {
+	tiers := make([]string, 0, 3)
+	for _, t := range calib.Tiers() {
+		tiers = append(tiers, string(t))
+	}
+	fams := topo.Families()
+	out := make([]deviceFamily, 0, len(fams))
+	for _, f := range fams {
+		out = append(out, deviceFamily{
+			Family:      f.Name,
+			Description: f.Description,
+			MinQubits:   f.MinQubits,
+			MaxQubits:   f.MaxQubits,
+			Tiers:       tiers,
+			Naming:      f.Name + "-<qubits>[-<tier>]",
+		})
+	}
+	return out
 }
 
 type namedDevice struct {
@@ -632,7 +724,7 @@ func (s *Server) handleDevices(w http.ResponseWriter, r *http.Request) {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	resp := devicesResponse{Devices: make([]namedDevice, 0, len(names))}
+	resp := devicesResponse{Devices: make([]namedDevice, 0, len(names)), Families: zooFamilies()}
 	for _, n := range names {
 		d := s.devices[n]
 		cycles := 0

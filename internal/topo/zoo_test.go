@@ -1,0 +1,130 @@
+package topo
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestZooFamiliesConnectedAtEverySize builds each family at a spread of
+// sizes across its range and checks the invariants the rest of the stack
+// leans on: exact qubit count, connectivity, and canonical naming.
+func TestZooFamiliesConnectedAtEverySize(t *testing.T) {
+	sizes := []int{5, 6, 7, 9, 16, 20, 27, 50, 100, 127, 256, 399, 1000}
+	for _, f := range Families() {
+		for _, n := range sizes {
+			if n < f.MinQubits || n > f.MaxQubits {
+				continue
+			}
+			name := fmt.Sprintf("%s-%d", f.Name, n)
+			tp, err := ByName(name)
+			if err != nil {
+				t.Fatalf("ByName(%q): %v", name, err)
+			}
+			if tp.NumQubits != n {
+				t.Errorf("%s: %d qubits, want %d", name, tp.NumQubits, n)
+			}
+			if tp.Name != name {
+				t.Errorf("%s: topology named %q", name, tp.Name)
+			}
+			if !tp.Connected() {
+				t.Errorf("%s: disconnected coupling graph", name)
+			}
+		}
+	}
+}
+
+// TestHeavyHexDegreeBound: the defining property of a heavy-hexagon
+// lattice is that no qubit couples to more than three neighbours.
+func TestHeavyHexDegreeBound(t *testing.T) {
+	for _, n := range []int{5, 12, 20, 65, 127, 399, 1000} {
+		tp := HeavyHex(n)
+		deg := make([]int, n)
+		for _, c := range tp.Couplings {
+			deg[c.A]++
+			deg[c.B]++
+		}
+		for q, d := range deg {
+			if d > 3 {
+				t.Fatalf("heavy-hex-%d: qubit %d has degree %d (> 3)", n, q, d)
+			}
+			if d == 0 {
+				t.Fatalf("heavy-hex-%d: qubit %d isolated", n, q)
+			}
+		}
+	}
+}
+
+// TestRingAndGridShape: rings are 2-regular cycles; grids have n links on
+// a c-column row-major lattice.
+func TestRingAndGridShape(t *testing.T) {
+	tp := Ring(64)
+	if len(tp.Couplings) != 64 {
+		t.Errorf("ring-64: %d couplings, want 64", len(tp.Couplings))
+	}
+	deg := make([]int, 64)
+	for _, c := range tp.Couplings {
+		deg[c.A]++
+		deg[c.B]++
+	}
+	for q, d := range deg {
+		if d != 2 {
+			t.Errorf("ring-64: qubit %d degree %d, want 2", q, d)
+		}
+	}
+
+	g := SquareGrid(100)
+	// 10×10 grid: 2·10·9 = 180 undirected links.
+	if len(g.Couplings) != 180 {
+		t.Errorf("grid-100: %d couplings, want 180", len(g.Couplings))
+	}
+}
+
+// TestByNameErrors pins the error contract: unknown families list the
+// valid ones, and out-of-range sizes name the family's range.
+func TestByNameErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		want string
+	}{
+		{"hexagon-20", "unknown"},
+		{"heavy-hex-4", "5"},
+		{"heavy-hex-4096", "2048"},
+		{"full-512", "256"},
+		{"grid-abc", ""},
+		{"", ""},
+	}
+	for _, tc := range cases {
+		if _, err := ByName(tc.name); err == nil {
+			t.Errorf("ByName(%q): want error", tc.name)
+		} else if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ByName(%q) error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	if _, err := ByName("hexagon-20"); err == nil || !strings.Contains(err.Error(), "heavy-hex") {
+		t.Errorf("unknown-family error should list families, got %v", err)
+	}
+}
+
+// TestZooDeterminism: two independent builds of the same name yield
+// identical coupling lists in identical order.
+func TestZooDeterminism(t *testing.T) {
+	for _, name := range []string{"heavy-hex-399", "grid-100", "ring-33", "full-12"} {
+		a, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Couplings) != len(b.Couplings) {
+			t.Fatalf("%s: coupling count differs across builds", name)
+		}
+		for i := range a.Couplings {
+			if a.Couplings[i] != b.Couplings[i] {
+				t.Fatalf("%s: coupling %d differs: %v vs %v", name, i, a.Couplings[i], b.Couplings[i])
+			}
+		}
+	}
+}

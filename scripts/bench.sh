@@ -18,6 +18,12 @@
 #	scripts/bench.sh                        # one run of each benchmark
 #	scripts/bench.sh 5                      # -count=5 (five samples each)
 #	scripts/bench.sh -compare OLD.json NEW.json
+#
+# Environment overrides:
+#	BENCH_OUT        snapshot path (default BENCH_<yyyymmdd>.json)
+#	BENCHTIME        go test -benchtime value (default 1s)
+#	BENCH_TOLERANCE  compare-mode regression ratio (default 1.10 = +10%)
+#	BENCH_MATCH      compare-mode key filter, awk ERE (default: all keys)
 set -eu
 
 # canonical_rows <file>: emit "name ns_op trials_sec" per benchmark with
@@ -54,11 +60,12 @@ if [ "${1:-}" = "-compare" ]; then
 	trap 'rm -f "$OLD_ROWS" "$NEW_ROWS"' EXIT
 	canonical_rows "$2" > "$OLD_ROWS"
 	canonical_rows "$3" > "$NEW_ROWS"
-	awk -v old="$2" -v new="$3" '
+	awk -v old="$2" -v new="$3" \
+	    -v tol="${BENCH_TOLERANCE:-1.10}" -v keyre="${BENCH_MATCH:-.}" '
 	NR == FNR { ns[$1] = $2; next }
-	($1 in ns) {
+	($1 in ns) && ($1 ~ keyre) {
 		ratio = $2 / ns[$1]
-		if (ratio > 1.10) {
+		if (ratio > tol + 0) {
 			printf("REGRESSION %s: %.0f -> %.0f ns/op (%+.1f%%)\n", $1, ns[$1], $2, (ratio - 1) * 100)
 			bad++
 		} else {
@@ -66,8 +73,8 @@ if [ "${1:-}" = "-compare" ]; then
 		}
 	}
 	END {
-		if (bad) { printf("%d benchmark(s) regressed >10%% from %s to %s\n", bad, old, new); exit 1 }
-		print "no ns/op regressions over 10%"
+		if (bad) { printf("%d benchmark(s) regressed past %.2fx from %s to %s\n", bad, tol, old, new); exit 1 }
+		printf("no ns/op regressions past %.2fx\n", tol)
 	}
 	' "$OLD_ROWS" "$NEW_ROWS"
 	exit $?
@@ -77,11 +84,11 @@ cd "$(dirname "$0")/.."
 
 COUNT="${1:-1}"
 PATTERN='MonteCarlo|CompilePipeline|Route|NewCosts|SearchSwaps|ServeCompile|Portfolio'
-OUT="BENCH_$(date +%Y%m%d).json"
+OUT="${BENCH_OUT:-BENCH_$(date +%Y%m%d).json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-go test -run '^$' -bench "$PATTERN" -benchmem -count="$COUNT" ./... | tee "$RAW"
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "${BENCHTIME:-1s}" -count="$COUNT" ./... | tee "$RAW"
 
 awk -v count="$COUNT" '
 /^goos:/   { goos = $2 }

@@ -10,12 +10,33 @@ set -eu
 cd "$(dirname "$0")/.."
 go vet ./...
 go test -race "$@" ./...
+# Large-device smoke, kept explicit so even a -short run exercises it:
+# SABRE-route a 60-qubit workload on the 399-qubit heavy-hex fleet under
+# the race detector (the A* router cannot attempt this size at all).
+go test -race -count=1 -run 'TestSabreHeavyHex399|TestSabreConcurrentDeterminism' ./internal/route
 # Benchmark smoke: one iteration of every tracked benchmark — including
 # the packed Monte-Carlo kernel benches (BenchmarkMonteCarlo runs packed,
 # BenchmarkMonteCarloScalar the reference path) — so a change that breaks
 # a benchmark body (rather than its performance) fails the gate instead
 # of surfacing at the next scripts/bench.sh run.
 go test -run '^$' -bench 'MonteCarlo|CompilePipeline|Route|NewCosts|SearchSwaps|ServeCompile|Portfolio' -benchtime=1x ./...
+# Perf-regression gate: rebench against the newest committed snapshot and
+# fail on big ns/op regressions. Only the stable keys are compared — the
+# compute-bound kernels and routing cores whose timings are reproducible
+# on a loaded machine — and the tolerance is wide (1.5x) so the gate
+# catches algorithmic regressions, not scheduler noise. A full-precision
+# diff is still available via scripts/bench.sh -compare with defaults.
+BASELINE="$(ls BENCH_*.json 2>/dev/null | sort | tail -1 || true)"
+if [ -n "$BASELINE" ]; then
+	FRESH="$(mktemp -t bench_fresh_XXXXXX.json)"
+	BENCH_OUT="$FRESH" BENCHTIME=100ms scripts/bench.sh > /dev/null
+	BENCH_TOLERANCE=1.5 \
+	BENCH_MATCH='MonteCarlo$|NewCosts|SearchSwaps|RouteCached|RouteScale/(bv|qft16)/sabre' \
+	scripts/bench.sh -compare "$BASELINE" "$FRESH" || { rm -f "$FRESH"; exit 1; }
+	rm -f "$FRESH"
+else
+	echo "no committed BENCH_*.json baseline; skipping perf-regression gate"
+fi
 # Fuzz smoke: a short native-fuzzing burst on the untrusted-input
 # parsers (QASM source, calibration archives, nisqd request bodies). The
 # committed testdata/fuzz corpora replay on every plain `go test` run;
