@@ -53,7 +53,7 @@ func TestDaemonMatchesCLI(t *testing.T) {
 		{"alu", "native", "q20", 3000},
 	}
 
-	srv := serve.New(serve.Config{Seed: seed, MaxTrials: 1000000})
+	srv := serve.MustNew(serve.Config{Seed: seed, MaxTrials: 1000000})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 

@@ -13,6 +13,10 @@
 //	POST /v1/portfolio    speculatively compile a policy×cycle candidate grid, ranked by ESP
 //	POST /v1/calibration  register a calgen-style JSON archive as a new device
 //	GET  /v1/devices      list registered device models
+//	POST /v1/jobs         submit any of the above as a durable async job
+//	GET  /v1/jobs         list jobs; /v1/jobs/{id} polls one, /{id}/result
+//	                      fetches its bytes, /{id}/events streams SSE,
+//	                      DELETE /v1/jobs/{id} cancels
 //	GET  /healthz         liveness probe
 //	GET  /metrics         Prometheus text-format counters
 //	GET  /debug/pprof/    runtime profiles
@@ -40,6 +44,7 @@ import (
 	"time"
 
 	"vaq/internal/cliutil"
+	"vaq/internal/jobs"
 	"vaq/internal/serve"
 	"vaq/internal/sim"
 )
@@ -55,6 +60,8 @@ func main() {
 		drainTO  = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain bound")
 		cacheN   = flag.Int("cache-entries", 512, "LRU response-cache capacity (0: disable)")
 		kernel   = flag.String("kernel", "", "Monte-Carlo kernel when a request names none: packed (bit-parallel, default) or scalar (reference)")
+		jobsDir  = flag.String("jobs-dir", "", "durable job-queue directory for POST /v1/jobs (empty: jobs are in-memory and do not survive restarts)")
+		jobsW    = flag.Int("job-workers", 0, "worker goroutines executing queued jobs (0: one per CPU, <0: serial)")
 	)
 	flag.Parse()
 
@@ -65,6 +72,7 @@ func main() {
 		cliutil.Timeout("drain-timeout", *drainTO),
 		cliutil.Positive("max-inflight", *inflight),
 		cliutil.NonNegative("cache-entries", *cacheN),
+		cliutil.Workers("job-workers", *jobsW),
 	); err != nil {
 		fmt.Fprintln(os.Stderr, "nisqd:", err)
 		os.Exit(2)
@@ -75,7 +83,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	srv := serve.New(serve.Config{
+	srv, err := serve.New(serve.Config{
 		Seed:           *seed,
 		MaxTrials:      *trials,
 		Workers:        *workers,
@@ -84,7 +92,15 @@ func main() {
 		RequestTimeout: *reqTO,
 		DrainTimeout:   *drainTO,
 		CacheEntries:   *cacheN,
+		Jobs: jobs.Options{
+			Dir:     *jobsDir,
+			Workers: *jobsW,
+		},
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nisqd:", err)
+		os.Exit(1)
+	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {

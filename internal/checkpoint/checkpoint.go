@@ -105,9 +105,26 @@ func (s *Store) Put(key string, v any) error {
 	if err != nil {
 		return fmt.Errorf("checkpoint: encode %q: %w", key, err)
 	}
-	f, err := os.CreateTemp(s.dir, ".unit-*.tmp")
+	if err := AtomicWriteFile(s.path(key), data); err != nil {
+		return fmt.Errorf("checkpoint: write %q: %w", key, err)
+	}
+	s.count(func() { s.puts++ })
+	return nil
+}
+
+// AtomicWriteFile writes data to path with the store's durability
+// discipline: write to a unique temp file in the same directory, fsync,
+// then rename over path. A crash or power cut at any point leaves
+// either the old file or the new one, never a torn mix — the invariant
+// every durable artifact in this repository (experiment checkpoints,
+// job-plane state) relies on. Safe for concurrent writers to the same
+// path: temp names are unique and rename is atomic, so the last writer
+// wins cleanly.
+func AtomicWriteFile(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".atomic-*.tmp")
 	if err != nil {
-		return fmt.Errorf("checkpoint: %w", err)
+		return err
 	}
 	tmp := f.Name()
 	_, werr := f.Write(data)
@@ -118,13 +135,12 @@ func (s *Store) Put(key string, v any) error {
 		werr = cerr
 	}
 	if werr == nil {
-		werr = os.Rename(tmp, s.path(key))
+		werr = os.Rename(tmp, path)
 	}
 	if werr != nil {
 		os.Remove(tmp)
-		return fmt.Errorf("checkpoint: write %q: %w", key, werr)
+		return werr
 	}
-	s.count(func() { s.puts++ })
 	return nil
 }
 

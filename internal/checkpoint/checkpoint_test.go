@@ -114,6 +114,70 @@ func TestForeignEntryKeyMismatchIsAMiss(t *testing.T) {
 	}
 }
 
+// TestDamagedEntriesRecomputedOnResume is the resume contract under
+// every flavor of on-disk damage: a truncated entry, outright garbage,
+// and a wrong-key envelope each read as a clean miss (never a fatal
+// error), the caller recomputes and Puts, and the rewritten entry then
+// serves normally.
+func TestDamagedEntriesRecomputedOnResume(t *testing.T) {
+	damage := map[string][]byte{
+		"truncated": []byte(`{"key":"k","val`),
+		"garbage":   []byte("\x00\x01not json at all"),
+		"wrong-key": []byte(`{"key":"somebody-else","value":{"Name":"evil","PST":1}}`),
+	}
+	for name, bad := range damage {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := Open(dir, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put("k", unit{Name: "good", PST: 0.5}); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(s.path("k"), bad, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			var got unit
+			if hit, err := s.Get("k", &got); hit || err != nil {
+				t.Fatalf("damaged entry Get = (%v, %v), want clean miss", hit, err)
+			}
+			// The resume loop's reaction to a miss: recompute and Put.
+			if err := s.Put("k", unit{Name: "recomputed", PST: 0.25}); err != nil {
+				t.Fatalf("Put over damaged entry: %v", err)
+			}
+			if hit, err := s.Get("k", &got); !hit || err != nil || got.Name != "recomputed" {
+				t.Fatalf("after recompute: hit=%v err=%v got=%+v", hit, err, got)
+			}
+		})
+	}
+}
+
+func TestAtomicWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	if err := AtomicWriteFile(path, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite: the replacement is complete, and no temp file survives.
+	if err := AtomicWriteFile(path, []byte("v2 with more bytes")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "v2 with more bytes" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Fatalf("dir holds %d entries, want just the target file", len(entries))
+	}
+	// A missing parent directory is an error, not a panic, and leaves no
+	// debris.
+	if err := AtomicWriteFile(filepath.Join(dir, "nope", "x"), []byte("v")); err == nil {
+		t.Fatal("write into missing directory succeeded")
+	}
+}
+
 func TestTypeMismatchSurfacesError(t *testing.T) {
 	s, err := Open(t.TempDir(), true)
 	if err != nil {

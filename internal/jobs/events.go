@@ -1,0 +1,155 @@
+package jobs
+
+import "sync"
+
+// Event is one entry in a job's lifecycle feed, the payload behind the
+// SSE endpoint. Seq is the per-job event sequence number, so a client
+// that reconnects can detect gaps.
+type Event struct {
+	Seq     int    `json:"seq"`
+	Type    string `json:"type"`
+	State   State  `json:"state,omitempty"`
+	Attempt int    `json:"attempt,omitempty"`
+	Message string `json:"message,omitempty"`
+}
+
+// Event types.
+const (
+	EventQueued    = "queued"
+	EventStarted   = "started"
+	EventProgress  = "progress"
+	EventRetrying  = "retrying"
+	EventRecovered = "recovered" // re-queued after a crash or drain
+	EventSucceeded = "succeeded"
+	EventFailed    = "failed"
+	EventCancelled = "cancelled"
+)
+
+// maxEventHistory bounds each job's replay buffer; older events are
+// dropped from replay (Seq gaps tell a subscriber this happened).
+const maxEventHistory = 64
+
+// subBuffer is a live subscriber's channel capacity. A subscriber that
+// falls further behind than this loses events (the channel would
+// otherwise wedge every publisher); SSE clients see the gap via Seq.
+const subBuffer = 64
+
+// broker fans job lifecycle events out to subscribers and keeps a
+// bounded per-job replay history, so a poll-then-subscribe client never
+// misses the events between its two calls.
+type broker struct {
+	mu     sync.Mutex
+	feeds  map[string]*feed
+	closed bool
+}
+
+type feed struct {
+	history []Event
+	nextSeq int
+	subs    map[int]chan Event
+	nextSub int
+	done    bool // terminal event published; new subscribers get a closed channel
+}
+
+func newBroker() *broker {
+	return &broker{feeds: make(map[string]*feed)}
+}
+
+func (b *broker) feedFor(id string) *feed {
+	f, ok := b.feeds[id]
+	if !ok {
+		f = &feed{subs: make(map[int]chan Event)}
+		b.feeds[id] = f
+	}
+	return f
+}
+
+// publish appends an event to id's history and delivers it to every
+// subscriber that has room. A terminal event closes all subscriptions.
+func (b *broker) publish(id string, ev Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	f := b.feedFor(id)
+	if f.done {
+		return
+	}
+	ev.Seq = f.nextSeq
+	f.nextSeq++
+	f.history = append(f.history, ev)
+	if len(f.history) > maxEventHistory {
+		f.history = f.history[len(f.history)-maxEventHistory:]
+	}
+	terminal := ev.State.Terminal()
+	for key, ch := range f.subs {
+		select {
+		case ch <- ev:
+		default: // slow subscriber: drop rather than wedge the worker
+		}
+		if terminal {
+			close(ch)
+			delete(f.subs, key)
+		}
+	}
+	if terminal {
+		f.done = true
+	}
+}
+
+// subscribe returns id's replayable history plus a live channel. The
+// channel is closed after the job's terminal event (immediately, if the
+// job already finished). cancel is idempotent and must be called when
+// the subscriber goes away.
+func (b *broker) subscribe(id string) (history []Event, ch <-chan Event, cancel func()) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	f := b.feedFor(id)
+	history = append([]Event(nil), f.history...)
+	c := make(chan Event, subBuffer)
+	if f.done || b.closed {
+		close(c)
+		return history, c, func() {}
+	}
+	key := f.nextSub
+	f.nextSub++
+	f.subs[key] = c
+	return history, c, func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if ch, ok := f.subs[key]; ok {
+			close(ch)
+			delete(f.subs, key)
+		}
+	}
+}
+
+// drop discards a job's feed (retention eviction).
+func (b *broker) drop(id string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if f, ok := b.feeds[id]; ok {
+		for key, ch := range f.subs {
+			close(ch)
+			delete(f.subs, key)
+		}
+		delete(b.feeds, id)
+	}
+}
+
+// close closes every live subscription (manager shutdown).
+func (b *broker) close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for _, f := range b.feeds {
+		for key, ch := range f.subs {
+			close(ch)
+			delete(f.subs, key)
+		}
+	}
+}

@@ -1,0 +1,622 @@
+package jobs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"vaq/internal/parallel"
+)
+
+// Options tunes a Manager. The zero value is production-usable
+// (in-memory, one worker per CPU); withDefaults documents the
+// defaults.
+type Options struct {
+	// Dir is the durable store directory; "" runs the plane in-memory
+	// (jobs do not survive a restart).
+	Dir string
+	// Workers bounds concurrently executing jobs (parallel.Workers
+	// semantics: 0 one per CPU, <0 serial).
+	Workers int
+	// QueueMax caps jobs waiting in the queue, across all tenants
+	// (default 1024); beyond it submissions shed.
+	QueueMax int
+	// Timeout is the per-attempt execution deadline (default 10m).
+	Timeout time.Duration
+	// Retry bounds retries of retryable failures.
+	Retry Policy
+	// Quota is the per-tenant admission policy.
+	Quota Quota
+	// Retention caps terminal jobs kept (in memory and on disk);
+	// beyond it the oldest finished jobs are evicted (default 4096).
+	Retention int
+	// AgingInterval is how long a queued job waits to gain one
+	// priority rank (default 30s).
+	AgingInterval time.Duration
+	// Clock overrides time.Now (tests).
+	Clock func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	o.Workers = parallel.Workers(o.Workers)
+	if o.QueueMax <= 0 {
+		o.QueueMax = 1024
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 10 * time.Minute
+	}
+	o.Retry = o.Retry.withDefaults()
+	o.Quota = o.Quota.withDefaults()
+	if o.Retention <= 0 {
+		o.Retention = 4096
+	}
+	if o.AgingInterval <= 0 {
+		o.AgingInterval = 30 * time.Second
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now
+	}
+	return o
+}
+
+// Cancellation causes, distinguished when an attempt comes back: a
+// user cancel terminates the job, an interruption re-queues it for
+// resume.
+var (
+	errCancelRequested = errors.New("cancelled by request")
+	errInterrupted     = errors.New("interrupted by shutdown")
+)
+
+// Manager is the durable job control plane: admission (quota + queue
+// bound), the priority-aging dispatcher, the bounded worker pool,
+// retry/backoff, persistence and crash recovery, and the event feed.
+// Construct with NewManager (which recovers any prior queue from Dir),
+// then Start; Drain stops it. Safe for concurrent use.
+type Manager struct {
+	opts Options
+	be   Backend
+	st   *store
+	br   *broker
+
+	mu            sync.Mutex
+	jobs          map[string]*job
+	q             *queue
+	quotas        *quotas
+	running       map[string]context.CancelCauseFunc
+	seq           uint64
+	queued        int // jobs currently in StateQueued
+	terminalOrder []string
+	draining      bool
+
+	// counters (guarded by mu)
+	submitted     map[CounterKey]int64
+	outcomes      map[CounterKey]int64
+	shed          map[string]int64
+	retries       int64
+	interrupted   int64
+	recovered     int64
+	corrupt       int64
+	persistErrors int64
+
+	wake      chan struct{}
+	stopClaim chan struct{}
+	wg        sync.WaitGroup
+	started   bool
+}
+
+// NewManager opens (or creates) the store under opts.Dir, recovers its
+// queue — terminal jobs are retained for status queries, queued jobs
+// re-enter the queue, and jobs found mid-run (a crash) are re-queued
+// with an interruption mark, to be re-executed deterministically — and
+// returns a manager ready to Start. Corrupt store files are quarantined
+// and counted, never fatal.
+func NewManager(opts Options, be Backend) (*Manager, error) {
+	if be == nil {
+		return nil, fmt.Errorf("jobs: nil backend")
+	}
+	opts = opts.withDefaults()
+	st, err := openStore(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	m := &Manager{
+		opts:      opts,
+		be:        be,
+		st:        st,
+		br:        newBroker(),
+		jobs:      make(map[string]*job),
+		q:         newQueue(opts.AgingInterval),
+		quotas:    newQuotas(opts.Quota),
+		running:   make(map[string]context.CancelCauseFunc),
+		submitted: make(map[CounterKey]int64),
+		outcomes:  make(map[CounterKey]int64),
+		shed:      make(map[string]int64),
+		wake:      make(chan struct{}, 1),
+		stopClaim: make(chan struct{}),
+	}
+	loaded, corrupt, err := st.load()
+	if err != nil {
+		return nil, err
+	}
+	m.corrupt = int64(corrupt)
+	now := opts.Clock()
+	for _, j := range loaded {
+		if j.Seq > m.seq {
+			m.seq = j.Seq
+		}
+		m.jobs[j.ID] = j
+		switch {
+		case j.State.Terminal():
+			m.terminalOrder = append(m.terminalOrder, j.ID)
+		case j.CancelRequest:
+			// A cancel was accepted but the crash beat the terminal
+			// transition; honor it now rather than re-running work the
+			// user disowned.
+			j.State = StateCancelled
+			m.outcomes[CounterKey{State: j.State, Class: j.Class, Tenant: j.Tenant}]++
+			m.terminalOrder = append(m.terminalOrder, j.ID)
+			m.persistLocked(j)
+			m.br.publish(j.ID, Event{Type: EventCancelled, State: StateCancelled, Attempt: j.Attempt})
+		default:
+			if j.State == StateRunning {
+				// Crashed mid-attempt: the attempt never finished, so it
+				// does not count against the retry budget.
+				if j.Attempt > 0 {
+					j.Attempt--
+				}
+				j.Interruptions++
+				m.interrupted++
+				j.State = StateQueued
+				m.persistLocked(j)
+			}
+			m.recovered++
+			m.quotas.live[j.Tenant]++
+			m.q.push(j, now)
+			m.queued++
+			m.br.publish(j.ID, Event{Type: EventRecovered, State: StateQueued, Attempt: j.Attempt,
+				Message: fmt.Sprintf("recovered from store (interruptions: %d)", j.Interruptions)})
+		}
+	}
+	m.evictLocked()
+	return m, nil
+}
+
+// Start launches the worker pool. Idempotent.
+func (m *Manager) Start() {
+	m.mu.Lock()
+	if m.started || m.draining {
+		m.mu.Unlock()
+		return
+	}
+	m.started = true
+	m.mu.Unlock()
+	for i := 0; i < m.opts.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+}
+
+// Drain stops the plane: no new jobs are claimed (submissions shed),
+// running jobs get until ctx's deadline to finish, and any still
+// running after that are cancelled and re-queued to the durable store
+// as interrupted — the checkpoint a restarted daemon resumes from. A
+// nil return means every running job finished inside the deadline.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return nil
+	}
+	m.draining = true
+	m.mu.Unlock()
+	close(m.stopClaim)
+
+	done := make(chan struct{})
+	go func() { m.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		m.br.close()
+		return nil
+	case <-ctx.Done():
+	}
+	m.mu.Lock()
+	n := len(m.running)
+	for _, cancel := range m.running {
+		cancel(errInterrupted)
+	}
+	m.mu.Unlock()
+	<-done
+	m.br.close()
+	if n > 0 {
+		return fmt.Errorf("jobs: drain deadline: %d running job(s) interrupted and re-queued", n)
+	}
+	return nil
+}
+
+// Submit validates, admits, persists, and enqueues one job, returning
+// its accepted snapshot. Over-quota and over-capacity submissions
+// return a *ShedError before any state is created.
+func (m *Manager) Submit(spec Spec) (*View, error) {
+	if !ValidKind(spec.Kind) {
+		return nil, fmt.Errorf("jobs: unknown kind %q (valid: %v)", spec.Kind, Kinds())
+	}
+	if spec.Class == "" {
+		spec.Class = DefaultClass
+	}
+	if !ValidClass(spec.Class) {
+		return nil, fmt.Errorf("jobs: unknown class %q (valid: %v)", spec.Class, Classes())
+	}
+	if spec.Tenant == "" {
+		spec.Tenant = "anonymous"
+	}
+
+	m.mu.Lock()
+	now := m.opts.Clock()
+	if m.draining {
+		m.shed["draining"]++
+		m.mu.Unlock()
+		return nil, &ShedError{Reason: "draining", RetryAfter: 5 * time.Second, Msg: "daemon is draining"}
+	}
+	if m.queued >= m.opts.QueueMax {
+		m.shed["queue_full"]++
+		m.mu.Unlock()
+		return nil, &ShedError{Reason: "queue_full", RetryAfter: time.Second,
+			Msg: fmt.Sprintf("job queue full (%d queued)", m.opts.QueueMax)}
+	}
+	if err := m.quotas.admit(spec.Tenant, now); err != nil {
+		var se *ShedError
+		if errors.As(err, &se) {
+			m.shed[se.Reason]++
+		}
+		m.mu.Unlock()
+		return nil, err
+	}
+	m.seq++
+	j := &job{
+		Spec:  spec,
+		ID:    newID(),
+		State: StateQueued,
+		Seq:   m.seq,
+	}
+	// Durability before acknowledgement: if the spec cannot be
+	// persisted, the job is refused — an accepted job must survive a
+	// crash.
+	if m.st != nil {
+		if err := m.st.save(j); err != nil {
+			m.quotas.release(spec.Tenant, now)
+			m.mu.Unlock()
+			return nil, err
+		}
+	}
+	m.jobs[j.ID] = j
+	m.submitted[CounterKey{Class: j.Class, Tenant: j.Tenant}]++
+	m.q.push(j, now)
+	m.queued++
+	v := j.view()
+	m.mu.Unlock()
+	m.br.publish(v.ID, Event{Type: EventQueued, State: StateQueued})
+	m.wakeOne()
+	return v, nil
+}
+
+// Get returns a job's current snapshot.
+func (m *Manager) Get(id string) (*View, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return j.view(), true
+}
+
+// List snapshots every known job in admission order.
+func (m *Manager) List() []*View {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*View, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		out = append(out, j.view())
+	}
+	// Admission order — stable and meaningful for dashboards.
+	for i := 1; i < len(out); i++ {
+		for k := i; k > 0 && m.seqOf(out[k].ID) < m.seqOf(out[k-1].ID); k-- {
+			out[k], out[k-1] = out[k-1], out[k]
+		}
+	}
+	return out
+}
+
+func (m *Manager) seqOf(id string) uint64 {
+	if j, ok := m.jobs[id]; ok {
+		return j.Seq
+	}
+	return 0
+}
+
+// Result returns the verbatim response bytes of a succeeded job. The
+// returned slice must not be mutated.
+func (m *Manager) Result(id string) ([]byte, State, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, "", false
+	}
+	return j.Result, j.State, true
+}
+
+// Cancel requests cancellation: a queued job terminates immediately; a
+// running job's attempt context is cancelled and the job terminates
+// when the attempt returns. Cancelling a terminal job returns
+// ErrNotCancellable with the (unchanged) snapshot.
+func (m *Manager) Cancel(id string) (*View, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return nil, ErrUnknownJob
+	}
+	now := m.opts.Clock()
+	switch {
+	case j.State.Terminal():
+		v := j.view()
+		m.mu.Unlock()
+		return v, ErrNotCancellable
+	case j.State == StateQueued:
+		j.CancelRequest = true
+		j.State = StateCancelled
+		m.queued--
+		m.finishLocked(j, now)
+		v := j.view()
+		m.mu.Unlock()
+		m.br.publish(id, Event{Type: EventCancelled, State: StateCancelled, Attempt: v.Attempt})
+		return v, nil
+	default: // running
+		j.CancelRequest = true
+		cancel := m.running[id]
+		m.persistLocked(j)
+		v := j.view()
+		m.mu.Unlock()
+		if cancel != nil {
+			cancel(errCancelRequested)
+		}
+		return v, nil
+	}
+}
+
+// Subscribe returns id's event history plus a live feed (closed after
+// the terminal event; immediately if the job already finished).
+func (m *Manager) Subscribe(id string) (history []Event, ch <-chan Event, cancel func(), err error) {
+	m.mu.Lock()
+	_, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, nil, nil, ErrUnknownJob
+	}
+	history, ch, cancel = m.br.subscribe(id)
+	return history, ch, cancel, nil
+}
+
+// worker is one pool goroutine: claim the best ready job, execute it,
+// repeat; sleep when nothing is ready, bounded by the next retry's due
+// time.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		if m.draining {
+			m.mu.Unlock()
+			return
+		}
+		now := m.opts.Clock()
+		j, wait := m.q.pop(now)
+		if j != nil {
+			m.queued--
+			j.State = StateRunning
+			j.Attempt++
+			jctx, cancel := context.WithCancelCause(context.Background())
+			m.running[j.ID] = cancel
+			w := Work{ID: j.ID, Kind: j.Kind, Tenant: j.Tenant, Attempt: j.Attempt, Request: j.Request}
+			m.persistLocked(j)
+			more := m.queued > 0
+			m.mu.Unlock()
+			if more {
+				m.wakeOne() // chain-wake: more ready work than awake workers
+			}
+			m.br.publish(w.ID, Event{Type: EventStarted, State: StateRunning, Attempt: w.Attempt})
+			m.attempt(jctx, cancel, j, w)
+			continue
+		}
+		m.mu.Unlock()
+		var timerC <-chan time.Time
+		var timer *time.Timer
+		if wait > 0 {
+			timer = time.NewTimer(wait)
+			timerC = timer.C
+		}
+		select {
+		case <-m.stopClaim:
+			if timer != nil {
+				timer.Stop()
+			}
+			return
+		case <-m.wake:
+		case <-timerC:
+		}
+		if timer != nil {
+			timer.Stop()
+		}
+	}
+}
+
+// attempt executes one claimed job attempt through the backend under
+// the per-attempt deadline, with panics quarantined by
+// parallel.Protect, then applies the outcome to the state machine.
+func (m *Manager) attempt(jctx context.Context, cancel context.CancelCauseFunc, j *job, w Work) {
+	actx, acancel := context.WithTimeout(jctx, m.opts.Timeout)
+	var body []byte
+	err := parallel.Protect(func() error {
+		b, e := m.be.Execute(actx, w, func(msg string) {
+			m.br.publish(w.ID, Event{Type: EventProgress, State: StateRunning, Attempt: w.Attempt, Message: msg})
+		})
+		body = b
+		return e
+	})
+	acancel()
+	cause := context.Cause(jctx)
+	cancel(nil)
+
+	m.mu.Lock()
+	delete(m.running, j.ID)
+	now := m.opts.Clock()
+	var ev Event
+	switch {
+	case err == nil:
+		// Success stands even if a cancel raced in too late to matter.
+		j.State = StateSucceeded
+		j.Result = body
+		j.Failure = nil
+		m.finishLocked(j, now)
+		ev = Event{Type: EventSucceeded, State: StateSucceeded, Attempt: w.Attempt}
+	case errors.Is(cause, errInterrupted):
+		// Drain interrupted the attempt: back to the durable queue; the
+		// attempt does not count, and a restart re-runs the spec
+		// deterministically.
+		j.State = StateQueued
+		j.Attempt--
+		j.Interruptions++
+		m.interrupted++
+		m.q.push(j, now)
+		m.queued++
+		m.persistLocked(j)
+		ev = Event{Type: EventRecovered, State: StateQueued, Attempt: j.Attempt,
+			Message: "interrupted by shutdown; re-queued"}
+	case j.CancelRequest || errors.Is(cause, errCancelRequested):
+		j.State = StateCancelled
+		j.Failure = failureFrom(err, w.Attempt)
+		m.finishLocked(j, now)
+		ev = Event{Type: EventCancelled, State: StateCancelled, Attempt: w.Attempt}
+	case Retryable(err) && j.Attempt < m.opts.Retry.MaxAttempts:
+		delay := m.opts.Retry.Backoff(j.ID, j.Attempt)
+		j.State = StateQueued
+		j.Failure = failureFrom(err, w.Attempt)
+		m.retries++
+		m.q.pushDelayed(j, now.Add(delay))
+		m.queued++
+		m.persistLocked(j)
+		ev = Event{Type: EventRetrying, State: StateQueued, Attempt: w.Attempt,
+			Message: fmt.Sprintf("attempt %d failed (%v); retrying in %v", w.Attempt, err, delay.Round(time.Millisecond))}
+	default:
+		j.State = StateFailed
+		j.Failure = failureFrom(err, w.Attempt)
+		m.finishLocked(j, now)
+		ev = Event{Type: EventFailed, State: StateFailed, Attempt: w.Attempt, Message: err.Error()}
+	}
+	m.mu.Unlock()
+	m.br.publish(w.ID, ev)
+	if ev.Type == EventRetrying || ev.Type == EventRecovered {
+		m.wakeOne()
+	}
+}
+
+// finishLocked applies the bookkeeping of a terminal transition:
+// release the tenant's quota slot, count the outcome, persist, and
+// evict beyond retention.
+func (m *Manager) finishLocked(j *job, now time.Time) {
+	m.quotas.release(j.Tenant, now)
+	m.outcomes[CounterKey{State: j.State, Class: j.Class, Tenant: j.Tenant}]++
+	m.terminalOrder = append(m.terminalOrder, j.ID)
+	m.persistLocked(j)
+	m.evictLocked()
+}
+
+func (m *Manager) persistLocked(j *job) {
+	if err := m.st.save(j); err != nil {
+		m.persistErrors++
+	}
+}
+
+// evictLocked drops the oldest terminal jobs beyond the retention cap:
+// memory record, event feed, and store file.
+func (m *Manager) evictLocked() {
+	for len(m.terminalOrder) > m.opts.Retention {
+		id := m.terminalOrder[0]
+		m.terminalOrder = m.terminalOrder[1:]
+		if j, ok := m.jobs[id]; ok && j.State.Terminal() {
+			delete(m.jobs, id)
+			m.st.remove(id)
+			m.br.drop(id)
+		}
+	}
+}
+
+func (m *Manager) wakeOne() {
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+}
+
+// CounterKey labels a submission or outcome counter. Submitted
+// counters leave State empty.
+type CounterKey struct {
+	State  State
+	Class  Class
+	Tenant string
+}
+
+// Snapshot is a point-in-time reading of the plane's gauges and
+// counters, rendered by the daemon's /metrics endpoint.
+type Snapshot struct {
+	Queued, Running int
+	Submitted       map[CounterKey]int64
+	Outcomes        map[CounterKey]int64
+	Shed            map[string]int64
+	Retries         int64
+	Interrupted     int64
+	Recovered       int64
+	Corrupt         int64
+	PersistErrors   int64
+}
+
+// Metrics snapshots the plane's counters.
+func (m *Manager) Metrics() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		Queued:        m.queued,
+		Running:       len(m.running),
+		Submitted:     make(map[CounterKey]int64, len(m.submitted)),
+		Outcomes:      make(map[CounterKey]int64, len(m.outcomes)),
+		Shed:          make(map[string]int64, len(m.shed)),
+		Retries:       m.retries,
+		Interrupted:   m.interrupted,
+		Recovered:     m.recovered,
+		Corrupt:       m.corrupt,
+		PersistErrors: m.persistErrors,
+	}
+	for k, v := range m.submitted {
+		s.Submitted[k] = v
+	}
+	for k, v := range m.outcomes {
+		s.Outcomes[k] = v
+	}
+	for k, v := range m.shed {
+		s.Shed[k] = v
+	}
+	return s
+}
+
+// newID returns a 16-hex-digit random job id.
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("jobs: id entropy unavailable: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}

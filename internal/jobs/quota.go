@@ -1,0 +1,102 @@
+package jobs
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Quota is the per-tenant admission policy. Both controls shed before
+// any work is admitted — an over-quota submission costs the daemon one
+// map lookup, not a queue slot.
+type Quota struct {
+	// Rate is the sustained submissions/second each tenant may make
+	// (token-bucket refill rate; default 10).
+	Rate float64
+	// Burst is the bucket capacity (default 20).
+	Burst int
+	// MaxPerTenant caps one tenant's queued+running jobs (default 256).
+	MaxPerTenant int
+}
+
+func (q Quota) withDefaults() Quota {
+	if q.Rate <= 0 {
+		q.Rate = 10
+	}
+	if q.Burst <= 0 {
+		q.Burst = 20
+	}
+	if q.MaxPerTenant <= 0 {
+		q.MaxPerTenant = 256
+	}
+	return q
+}
+
+// bucket is one tenant's token bucket. tokens is the balance as of
+// last; refill happens lazily on use.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// quotas tracks every active tenant's bucket and live-job count. It is
+// guarded by the manager mutex (admission already holds it).
+type quotas struct {
+	q       Quota
+	buckets map[string]*bucket
+	live    map[string]int // queued+running per tenant
+}
+
+func newQuotas(q Quota) *quotas {
+	return &quotas{q: q.withDefaults(), buckets: make(map[string]*bucket), live: make(map[string]int)}
+}
+
+// admit charges one submission token and one live-job slot for tenant,
+// or returns the ShedError explaining the refusal.
+func (t *quotas) admit(tenant string, now time.Time) error {
+	b, ok := t.buckets[tenant]
+	if !ok {
+		b = &bucket{tokens: float64(t.q.Burst), last: now}
+		t.buckets[tenant] = b
+	}
+	b.tokens = math.Min(float64(t.q.Burst), b.tokens+now.Sub(b.last).Seconds()*t.q.Rate)
+	b.last = now
+	if b.tokens < 1 {
+		wait := time.Duration((1 - b.tokens) / t.q.Rate * float64(time.Second))
+		return &ShedError{
+			Reason:     "rate",
+			RetryAfter: wait,
+			Msg:        fmt.Sprintf("tenant %q over submission rate (%.3g/s, burst %d)", tenant, t.q.Rate, t.q.Burst),
+		}
+	}
+	if t.live[tenant] >= t.q.MaxPerTenant {
+		return &ShedError{
+			Reason:     "tenant_quota",
+			RetryAfter: 2 * time.Second,
+			Msg:        fmt.Sprintf("tenant %q at quota: %d jobs queued or running (max %d)", tenant, t.live[tenant], t.q.MaxPerTenant),
+		}
+	}
+	b.tokens--
+	t.live[tenant]++
+	return nil
+}
+
+// release returns tenant's live-job slot when a job reaches a terminal
+// state, pruning idle tenants so the maps stay bounded by the set of
+// tenants with live jobs or unreplenished buckets.
+func (t *quotas) release(tenant string, now time.Time) {
+	if t.live[tenant] > 0 {
+		t.live[tenant]--
+	}
+	if t.live[tenant] == 0 {
+		delete(t.live, tenant)
+		// Drop the bucket once it is indistinguishable from a fresh one.
+		if b, ok := t.buckets[tenant]; ok {
+			b.tokens = math.Min(float64(t.q.Burst), b.tokens+now.Sub(b.last).Seconds()*t.q.Rate)
+			b.last = now
+			if b.tokens >= float64(t.q.Burst) {
+				delete(t.buckets, tenant)
+			}
+		}
+	}
+}

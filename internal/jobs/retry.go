@@ -1,0 +1,102 @@
+package jobs
+
+import (
+	"errors"
+	"hash/fnv"
+	"time"
+
+	"vaq/internal/parallel"
+)
+
+// Policy bounds retries of retryable failures: exponential backoff with
+// deterministic per-(job, attempt) jitter. Jitter is derived from the
+// job id, not a global RNG, so two daemons replaying the same queue
+// spread retries identically and tests are reproducible.
+type Policy struct {
+	// MaxAttempts is the total attempts a job may start (default 3).
+	MaxAttempts int
+	// Base is the delay before the first retry (default 100ms).
+	Base time.Duration
+	// Multiplier grows the delay per retry (default 2).
+	Multiplier float64
+	// Max caps the grown delay before jitter (default 5s).
+	Max time.Duration
+	// JitterFrac adds up to this fraction of the delay as jitter
+	// (default 0.5, i.e. delay ∈ [d, 1.5d)).
+	JitterFrac float64
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.Base <= 0 {
+		p.Base = 100 * time.Millisecond
+	}
+	if p.Multiplier <= 1 {
+		p.Multiplier = 2
+	}
+	if p.Max <= 0 {
+		p.Max = 5 * time.Second
+	}
+	if p.JitterFrac < 0 {
+		p.JitterFrac = 0
+	} else if p.JitterFrac == 0 {
+		p.JitterFrac = 0.5
+	}
+	return p
+}
+
+// Backoff returns the delay before attempt+1 may start, given that
+// 1-based attempt just failed: Base·Multiplier^(attempt−1) capped at
+// Max, plus deterministic jitter in [0, JitterFrac·delay).
+func (p Policy) Backoff(id string, attempt int) time.Duration {
+	p = p.withDefaults()
+	d := float64(p.Base)
+	for i := 1; i < attempt; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.Max) {
+			d = float64(p.Max)
+			break
+		}
+	}
+	if d > float64(p.Max) {
+		d = float64(p.Max)
+	}
+	// SplitMix64-style scramble of fnv(id)^attempt → uniform in [0,1).
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	z := h.Sum64() + uint64(attempt)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	u := float64(z>>11) / (1 << 53)
+	return time.Duration(d * (1 + p.JitterFrac*u))
+}
+
+// Retryable classifies a failed attempt: permanent failures (wrapped
+// ErrPermanent) never retry; everything else — transient pipeline
+// errors, per-attempt deadline expiry, panics quarantined by
+// parallel.Protect — is worth another attempt under backoff.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	return !errors.Is(err, ErrPermanent)
+}
+
+// failureFrom builds the typed Failure record for a failed attempt,
+// extracting the quarantined panic stack when the attempt panicked.
+func failureFrom(err error, attempt int) *Failure {
+	f := &Failure{Message: err.Error(), Permanent: !Retryable(err), Attempt: attempt}
+	var pe *parallel.PanicError
+	if errors.As(err, &pe) {
+		f.Panic = true
+		stack := string(pe.Stack)
+		if len(stack) > maxStackBytes {
+			stack = stack[:maxStackBytes] + "\n…truncated"
+		}
+		f.Stack = stack
+	}
+	return f
+}

@@ -170,6 +170,22 @@ func Collect(ctx context.Context, workers, n int, fn func(i int) error) error {
 	return errors.Join(all...)
 }
 
+// Protect runs fn on the calling goroutine with the pool's panic
+// discipline but no pool: a panic is recovered into a *PanicError
+// carrying the stack captured at the recovery point, instead of
+// crashing the process. It is the quarantine primitive for callers that
+// run one long-lived work item at a time — the job plane's worker loop
+// wraps every backend attempt in it, so a panicking job becomes a typed
+// failure on that job alone.
+func Protect(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}
+
 // protect invokes fn(i), converting an error or panic into an
 // index-tagged *Error.
 func protect(i int, fn func(i int) error) (err error) {

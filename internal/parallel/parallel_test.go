@@ -258,3 +258,24 @@ func TestSerialParallelIdentical(t *testing.T) {
 		}
 	}
 }
+
+func TestProtect(t *testing.T) {
+	// A plain error passes through untouched.
+	sentinel := errors.New("boom")
+	if err := Protect(func() error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("Protect error = %v, want sentinel", err)
+	}
+	// A success passes through as nil.
+	if err := Protect(func() error { return nil }); err != nil {
+		t.Fatalf("Protect success = %v", err)
+	}
+	// A panic is quarantined into *PanicError with the stack captured.
+	err := Protect(func() error { panic("quarantine me") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Protect panic = %v (%T), want *PanicError", err, err)
+	}
+	if pe.Value != "quarantine me" || len(pe.Stack) == 0 {
+		t.Fatalf("PanicError = %+v, want value and stack", pe)
+	}
+}

@@ -1,0 +1,360 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"vaq/internal/jobs"
+)
+
+// JobRequest is the body of POST /v1/jobs: an envelope naming which
+// synchronous endpoint's request shape Request carries. The request is
+// validated eagerly at submission — a malformed job is a 400 at submit
+// time, never an asynchronous failure discovered by polling.
+type JobRequest struct {
+	// Kind selects the pipeline: compile, estimate, batch or portfolio.
+	Kind string `json:"kind"`
+	// Tenant attributes the job for quota accounting (default
+	// "anonymous"; the X-Nisqd-Tenant header is used when empty).
+	Tenant string `json:"tenant,omitempty"`
+	// Class is the priority class: interactive, batch (default) or
+	// background.
+	Class string `json:"class,omitempty"`
+	// Request is the body the named kind's synchronous endpoint would
+	// accept, verbatim.
+	Request json.RawMessage `json:"request"`
+}
+
+// DecodeJobRequest parses and validates one /v1/jobs body, including
+// the embedded request (decoded with the same decoder the synchronous
+// endpoint uses).
+func DecodeJobRequest(data []byte, maxTrials int) (*JobRequest, error) {
+	var req JobRequest
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, badReqf("decode: %v", err)
+	}
+	if dec.More() {
+		return nil, badReqf("trailing data after request object")
+	}
+	if !jobs.ValidKind(jobs.Kind(req.Kind)) {
+		return nil, badReqf("kind must be one of %v (got %q)", jobs.Kinds(), req.Kind)
+	}
+	if req.Class != "" && !jobs.ValidClass(jobs.Class(req.Class)) {
+		return nil, badReqf("class must be one of %v (got %q)", jobs.Classes(), req.Class)
+	}
+	if req.Tenant != "" && !deviceNameRE.MatchString(req.Tenant) {
+		return nil, badReqf("tenant must match [a-zA-Z0-9][a-zA-Z0-9_-]{0,63}")
+	}
+	if len(req.Request) == 0 {
+		return nil, badReqf("request body is required")
+	}
+	var err error
+	switch jobs.Kind(req.Kind) {
+	case jobs.KindCompile, jobs.KindEstimate:
+		_, err = DecodeCompileRequest(req.Request, maxTrials)
+	case jobs.KindBatch:
+		_, err = DecodeBatchRequest(req.Request, maxTrials)
+	case jobs.KindPortfolio:
+		_, err = DecodePortfolioRequest(req.Request, maxTrials)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%s request: %w", req.Kind, err)
+	}
+	return &req, nil
+}
+
+// executeJob is the in-process jobs.Backend: it routes a job through
+// exactly the code path its synchronous endpoint uses (same decoders,
+// same response cache, same pipelines), so a job's result bytes are
+// byte-identical to the synchronous response for the same request.
+func (s *Server) executeJob(ctx context.Context, w jobs.Work, progress func(string)) ([]byte, error) {
+	switch w.Kind {
+	case jobs.KindCompile, jobs.KindEstimate:
+		req, err := DecodeCompileRequest(w.Request, s.cfg.MaxTrials)
+		if err != nil {
+			return nil, jobs.Permanent(err)
+		}
+		endpoint, skipMC := "/v1/compile", false
+		if w.Kind == jobs.KindEstimate {
+			endpoint, skipMC = "/v1/estimate", !req.MonteCarlo
+		}
+		body, hit, err := s.compileCached(ctx, endpoint, req, skipMC)
+		if err != nil {
+			return nil, classifyJobErr(ctx, err)
+		}
+		if hit {
+			progress("served from response cache")
+		}
+		return body, nil
+
+	case jobs.KindBatch:
+		req, err := DecodeBatchRequest(w.Request, s.cfg.MaxTrials)
+		if err != nil {
+			return nil, jobs.Permanent(err)
+		}
+		progress(fmt.Sprintf("fanning out %d items", len(req.Items)))
+		resp := s.runBatch(ctx, req)
+		if err := ctx.Err(); err != nil {
+			// Interrupted mid-fan-out: report the interruption instead of
+			// storing a partial result; the re-run recomputes everything.
+			return nil, classifyJobErr(ctx, err)
+		}
+		body, err := json.MarshalIndent(resp, "", " ")
+		if err != nil {
+			return nil, err
+		}
+		return append(body, '\n'), nil
+
+	case jobs.KindPortfolio:
+		req, err := DecodePortfolioRequest(w.Request, s.cfg.MaxTrials)
+		if err != nil {
+			return nil, jobs.Permanent(err)
+		}
+		body, hit, err := s.portfolioCached(ctx, req)
+		if err != nil {
+			return nil, classifyJobErr(ctx, err)
+		}
+		if hit {
+			progress("served from response cache")
+		}
+		return body, nil
+	}
+	return nil, jobs.Permanent(fmt.Errorf("unhandled job kind %q", w.Kind))
+}
+
+// classifyJobErr maps a pipeline failure onto the retry taxonomy:
+// client-caused failures (the statuses the synchronous endpoint would
+// 4xx) are permanent — re-running the same spec can only fail the same
+// way — while server-side and cancellation failures stay retryable.
+func classifyJobErr(ctx context.Context, err error) error {
+	if cause := context.Cause(ctx); cause != nil && !errors.Is(cause, context.Canceled) {
+		// Surface the manager's cancel cause (deadline, cancel, drain)
+		// rather than a bare context error.
+		err = cause
+	}
+	switch errorStatus(err) {
+	case http.StatusBadRequest, http.StatusNotFound:
+		return jobs.Permanent(err)
+	}
+	return err
+}
+
+// setRetryAfter writes a jittered Retry-After header: the shed's own
+// hint (rounded up, at least 1s) plus up to 2s of per-response jitter,
+// so a burst of shed clients doesn't reconverge on the same instant.
+func setRetryAfter(w http.ResponseWriter, hint time.Duration) {
+	secs := int(math.Ceil(hint.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	secs += rand.IntN(3)
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	data, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	req, err := DecodeJobRequest(data, s.cfg.MaxTrials)
+	if err != nil {
+		writeError(w, errorStatus(err), err.Error())
+		return
+	}
+	tenant := req.Tenant
+	if tenant == "" {
+		if h := r.Header.Get("X-Nisqd-Tenant"); h != "" && deviceNameRE.MatchString(h) {
+			tenant = h
+		}
+	}
+	v, err := s.jobs.Submit(jobs.Spec{
+		Tenant:  tenant,
+		Class:   jobs.Class(req.Class),
+		Kind:    jobs.Kind(req.Kind),
+		Request: req.Request,
+	})
+	if err != nil {
+		var se *jobs.ShedError
+		if errors.As(err, &se) {
+			setRetryAfter(w, se.RetryAfter)
+			writeError(w, http.StatusTooManyRequests, se.Msg)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, v)
+}
+
+type jobListResponse struct {
+	Jobs []*jobs.View `json:"jobs"`
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, jobListResponse{Jobs: s.jobs.List()})
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	body, state, ok := s.jobs.Result(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown job %q", id))
+		return
+	}
+	if state != jobs.StateSucceeded {
+		writeError(w, http.StatusConflict,
+			fmt.Sprintf("job %s is %s; a result exists only once it succeeds", id, state))
+		return
+	}
+	// The stored bytes are written verbatim: byte-identical to the
+	// synchronous endpoint's response for the same request.
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	v, err := s.jobs.Cancel(id)
+	switch {
+	case errors.Is(err, jobs.ErrUnknownJob):
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown job %q", id))
+	case errors.Is(err, jobs.ErrNotCancellable):
+		writeError(w, http.StatusConflict, fmt.Sprintf("job %s already %s", id, v.State))
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	default:
+		writeJSON(w, http.StatusOK, v)
+	}
+}
+
+// handleJobEvents streams a job's lifecycle as Server-Sent Events:
+// replayed history first, then live events until the job reaches a
+// terminal state or the client goes away. Not wrapped in instrumented —
+// a stream's lifetime would drown the latency histogram.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	s.met.request("/v1/jobs/{id}/events")
+	id := r.PathValue("id")
+	history, ch, cancel, err := s.jobs.Subscribe(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown job %q", id))
+		return
+	}
+	defer cancel()
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	write := func(ev jobs.Event) {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+		fl.Flush()
+	}
+	for _, ev := range history {
+		write(ev)
+	}
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				return
+			}
+			write(ev)
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// renderJobsMetrics appends the job plane's gauges and counters to the
+// /metrics exposition, labels sorted for a deterministic scrape.
+func renderJobsMetrics(b *strings.Builder, snap jobs.Snapshot) {
+	b.WriteString("# HELP nisqd_jobs_queued Jobs waiting in the queue (including backoff delays).\n")
+	b.WriteString("# TYPE nisqd_jobs_queued gauge\n")
+	fmt.Fprintf(b, "nisqd_jobs_queued %d\n", snap.Queued)
+	b.WriteString("# HELP nisqd_jobs_running Jobs currently executing.\n")
+	b.WriteString("# TYPE nisqd_jobs_running gauge\n")
+	fmt.Fprintf(b, "nisqd_jobs_running %d\n", snap.Running)
+
+	b.WriteString("# HELP nisqd_jobs_submitted_total Jobs accepted, by class and tenant.\n")
+	b.WriteString("# TYPE nisqd_jobs_submitted_total counter\n")
+	for _, k := range sortedCounterKeys(snap.Submitted) {
+		fmt.Fprintf(b, "nisqd_jobs_submitted_total{class=%q,tenant=%q} %d\n", k.Class, k.Tenant, snap.Submitted[k])
+	}
+	b.WriteString("# HELP nisqd_jobs_outcomes_total Jobs finished, by terminal state, class and tenant.\n")
+	b.WriteString("# TYPE nisqd_jobs_outcomes_total counter\n")
+	for _, k := range sortedCounterKeys(snap.Outcomes) {
+		fmt.Fprintf(b, "nisqd_jobs_outcomes_total{state=%q,class=%q,tenant=%q} %d\n", k.State, k.Class, k.Tenant, snap.Outcomes[k])
+	}
+	b.WriteString("# HELP nisqd_jobs_shed_total Submissions refused before admission, by reason.\n")
+	b.WriteString("# TYPE nisqd_jobs_shed_total counter\n")
+	reasons := make([]string, 0, len(snap.Shed))
+	for r := range snap.Shed {
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
+	for _, r := range reasons {
+		fmt.Fprintf(b, "nisqd_jobs_shed_total{reason=%q} %d\n", r, snap.Shed[r])
+	}
+	b.WriteString("# HELP nisqd_jobs_retries_total Attempts re-queued under the backoff policy.\n")
+	b.WriteString("# TYPE nisqd_jobs_retries_total counter\n")
+	fmt.Fprintf(b, "nisqd_jobs_retries_total %d\n", snap.Retries)
+	b.WriteString("# HELP nisqd_jobs_interrupted_total Running jobs re-queued by a drain or crash.\n")
+	b.WriteString("# TYPE nisqd_jobs_interrupted_total counter\n")
+	fmt.Fprintf(b, "nisqd_jobs_interrupted_total %d\n", snap.Interrupted)
+	b.WriteString("# HELP nisqd_jobs_recovered_total Jobs recovered from the store at startup.\n")
+	b.WriteString("# TYPE nisqd_jobs_recovered_total counter\n")
+	fmt.Fprintf(b, "nisqd_jobs_recovered_total %d\n", snap.Recovered)
+	b.WriteString("# HELP nisqd_jobs_store_corrupt_total Store files quarantined at startup.\n")
+	b.WriteString("# TYPE nisqd_jobs_store_corrupt_total counter\n")
+	fmt.Fprintf(b, "nisqd_jobs_store_corrupt_total %d\n", snap.Corrupt)
+	b.WriteString("# HELP nisqd_jobs_persist_errors_total Job state transitions that failed to persist.\n")
+	b.WriteString("# TYPE nisqd_jobs_persist_errors_total counter\n")
+	fmt.Fprintf(b, "nisqd_jobs_persist_errors_total %d\n", snap.PersistErrors)
+}
+
+func sortedCounterKeys(m map[jobs.CounterKey]int64) []jobs.CounterKey {
+	keys := make([]jobs.CounterKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].State != keys[b].State {
+			return keys[a].State < keys[b].State
+		}
+		if keys[a].Class != keys[b].Class {
+			return keys[a].Class < keys[b].Class
+		}
+		return keys[a].Tenant < keys[b].Tenant
+	})
+	return keys
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
@@ -183,6 +184,42 @@ func portfolioCacheKey(deviceFP uint64, prog *circuit.Circuit, spec portfolio.Sp
 		deviceFP, h.Sum64(), spec.RootSeed, spec.Cycles, spec.RandomStarts, spec.TopK, spec.Trials)
 }
 
+// portfolioCached runs one decoded portfolio request against the
+// response cache, exactly as compileCached does for compile/estimate;
+// it is the shared execution path of POST /v1/portfolio and portfolio
+// jobs. The bool reports whether the result was served from cache.
+func (s *Server) portfolioCached(ctx context.Context, req *PortfolioRequest) ([]byte, bool, error) {
+	prog, err := req.Program()
+	if err != nil {
+		return nil, false, err
+	}
+	d, arch, err := s.lookupDeviceArchive(req.Device)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := checkFits(d, prog); err != nil {
+		return nil, false, err
+	}
+	spec := req.Spec(s.cfg.Workers)
+	key := portfolioCacheKey(d.Fingerprint(), prog, spec)
+	if body, ok := s.cache.get(key); ok {
+		s.met.cache(true)
+		return body, true, nil
+	}
+	s.met.cache(false)
+	res, err := portfolio.Run(ctx, d, arch, prog, spec)
+	if err != nil {
+		return nil, false, err
+	}
+	body, err := json.MarshalIndent(res, "", " ")
+	if err != nil {
+		return nil, false, err
+	}
+	body = append(body, '\n')
+	s.cache.put(key, body)
+	return body, false, nil
+}
+
 func (s *Server) handlePortfolio(w http.ResponseWriter, r *http.Request) {
 	data, ok := readBody(w, r)
 	if !ok {
@@ -193,39 +230,10 @@ func (s *Server) handlePortfolio(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errorStatus(err), err.Error())
 		return
 	}
-	prog, err := req.Program()
+	body, hit, err := s.portfolioCached(r.Context(), req)
 	if err != nil {
 		writeError(w, errorStatus(err), err.Error())
 		return
 	}
-	d, arch, err := s.lookupDeviceArchive(req.Device)
-	if err != nil {
-		writeError(w, errorStatus(err), err.Error())
-		return
-	}
-	if err := checkFits(d, prog); err != nil {
-		writeError(w, errorStatus(err), err.Error())
-		return
-	}
-	spec := req.Spec(s.cfg.Workers)
-	key := portfolioCacheKey(d.Fingerprint(), prog, spec)
-	if body, ok := s.cache.get(key); ok {
-		s.met.cache(true)
-		writeCachedResult(w, body, true)
-		return
-	}
-	s.met.cache(false)
-	res, err := portfolio.Run(r.Context(), d, arch, prog, spec)
-	if err != nil {
-		writeError(w, errorStatus(err), err.Error())
-		return
-	}
-	body, err := json.MarshalIndent(res, "", " ")
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
-		return
-	}
-	body = append(body, '\n')
-	s.cache.put(key, body)
-	writeCachedResult(w, body, false)
+	writeCachedResult(w, body, hit)
 }

@@ -22,7 +22,7 @@ import (
 func TestConcurrentMixedClients(t *testing.T) {
 	cfg := testConfig()
 	cfg.MaxInFlight = 32 // small enough that shedding actually happens
-	s := New(cfg)
+	s := MustNew(cfg)
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 

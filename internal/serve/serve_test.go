@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -11,6 +12,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"vaq/internal/calib"
 )
@@ -25,9 +27,22 @@ func testConfig() Config {
 
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(testConfig())
+	return newTestServerConfig(t, testConfig())
+}
+
+func newTestServerConfig(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
-	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	})
 	return s, ts
 }
 
@@ -388,7 +403,7 @@ func TestRequestErrors(t *testing.T) {
 func TestBodyTooLarge(t *testing.T) {
 	cfg := testConfig()
 	cfg.MaxBodyBytes = 512
-	s := New(cfg)
+	s := MustNew(cfg)
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	resp, _ := post(t, ts.URL+"/v1/compile",

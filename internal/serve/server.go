@@ -19,6 +19,7 @@ import (
 	"vaq/internal/calib"
 	"vaq/internal/circuit"
 	"vaq/internal/device"
+	"vaq/internal/jobs"
 	"vaq/internal/parallel"
 	"vaq/internal/topo"
 )
@@ -57,7 +58,13 @@ type Config struct {
 	MaxDevices int
 	// DrainTimeout bounds graceful shutdown: how long Serve waits for
 	// in-flight requests after its context is cancelled (default 30s).
+	// The job plane's drain shares the same bound: jobs still running
+	// when it expires are re-queued durably and resume after restart.
 	DrainTimeout time.Duration
+	// Jobs tunes the durable async job plane behind POST /v1/jobs. The
+	// zero value runs it in-memory; set Jobs.Dir to make accepted jobs
+	// survive restarts.
+	Jobs jobs.Options
 }
 
 func (c Config) withDefaults() Config {
@@ -99,6 +106,7 @@ type Server struct {
 	sem   chan struct{}
 	cache *lruCache
 	met   *metricsState
+	jobs  *jobs.Manager
 
 	mu      sync.RWMutex
 	devices map[string]*device.Device
@@ -113,8 +121,11 @@ type Server struct {
 
 // New builds a Server with the built-in device models (q20 and q16
 // generated from cfg.Seed, q5 from the Tenerife snapshot) already
-// registered.
-func New(cfg Config) *Server {
+// registered, and starts the job plane (recovering any persisted queue
+// from cfg.Jobs.Dir). The only error source is the job store: an
+// unusable jobs directory must fail loudly at startup, not lose
+// accepted work later.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:      cfg,
@@ -134,6 +145,13 @@ func New(cfg Config) *Server {
 	s.devices["q5"] = device.MustNew(q5.Topo, q5)
 	s.archives["q5"] = &calib.Archive{Topo: q5.Topo, Snapshots: []*calib.Snapshot{q5}}
 
+	jm, err := jobs.NewManager(cfg.Jobs, jobs.BackendFunc(s.executeJob))
+	if err != nil {
+		return nil, err
+	}
+	s.jobs = jm
+	jm.Start()
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/compile", s.limited("/v1/compile", s.handleCompile))
 	mux.HandleFunc("POST /v1/estimate", s.limited("/v1/estimate", s.handleEstimate))
@@ -141,6 +159,17 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/portfolio", s.limited("/v1/portfolio", s.handlePortfolio))
 	mux.HandleFunc("POST /v1/calibration", s.limited("/v1/calibration", s.handleCalibration))
 	mux.HandleFunc("GET /v1/devices", s.instrumented("/v1/devices", s.handleDevices))
+	// The job plane rides outside the compute semaphore: submission is
+	// validation + enqueue (the pool bounds execution concurrency), and
+	// status/result/SSE polling must stay responsive while every
+	// semaphore slot is busy — that responsiveness is the point of
+	// submitting asynchronously.
+	mux.HandleFunc("POST /v1/jobs", s.instrumented("/v1/jobs", s.handleJobSubmit))
+	mux.HandleFunc("GET /v1/jobs", s.instrumented("/v1/jobs", s.handleJobList))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.instrumented("/v1/jobs/{id}", s.handleJobGet))
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.instrumented("/v1/jobs/{id}/result", s.handleJobResult))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrumented("/v1/jobs/{id}", s.handleJobCancel))
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -149,16 +178,36 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	s.mux = mux
+	return s, nil
+}
+
+// MustNew is New for callers whose Config cannot fail (no jobs
+// directory), e.g. tests and in-process harnesses.
+func MustNew(cfg Config) *Server {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
 	return s
 }
+
+// Drain shuts the job plane down: running jobs get until ctx to finish;
+// stragglers are re-queued durably. Serve calls this itself — Drain is
+// for handler-only deployments (tests, embedding) and is idempotent.
+func (s *Server) Drain(ctx context.Context) error { return s.jobs.Drain(ctx) }
+
+// Jobs exposes the job plane manager (tests, embedding).
+func (s *Server) Jobs() *jobs.Manager { return s.jobs }
 
 // Handler returns the daemon's routing table as an http.Handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Serve accepts connections on l until ctx is cancelled, then shuts
-// down gracefully: the listener closes (new requests are refused), and
-// requests already in flight get up to DrainTimeout to complete. A nil
-// return means a clean drain.
+// down gracefully: the listener closes (new requests are refused),
+// requests already in flight get up to DrainTimeout to complete, and
+// the job plane drains under the same bound — running jobs that don't
+// finish in time are checkpointed back to the durable queue, where a
+// restarted daemon resumes them. A nil return means a clean drain.
 func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 	hs := &http.Server{
 		Handler:           s.Handler(),
@@ -174,8 +223,9 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 	dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 	defer cancel()
 	err := hs.Shutdown(dctx)
+	jerr := s.jobs.Drain(dctx)
 	<-errc // always http.ErrServerClosed after Shutdown
-	return err
+	return errors.Join(err, jerr)
 }
 
 // statusWriter records the status code a handler wrote, for metrics.
@@ -212,7 +262,7 @@ func (s *Server) limited(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 		case s.sem <- struct{}{}:
 		default:
 			s.met.droppedRequest()
-			w.Header().Set("Retry-After", "1")
+			setRetryAfter(w, time.Second)
 			writeError(w, http.StatusTooManyRequests, "server at capacity, retry later")
 			return
 		}
@@ -517,12 +567,19 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errorStatus(err), err.Error())
 		return
 	}
+	writeJSON(w, http.StatusOK, s.runBatch(r.Context(), req))
+}
+
+// runBatch fans a decoded batch out with per-item fault isolation; it
+// is the shared execution path of POST /v1/batch and batch jobs, so the
+// two produce identical item sets for the same request.
+func (s *Server) runBatch(ctx context.Context, req *BatchRequest) batchResponse {
 	items := make([]batchItem, len(req.Items))
 	// The batch itself is the parallel axis, so each item's Monte-Carlo
 	// runs serial (Workers -1) — the pool guarantees the outcome is
 	// bit-identical either way, which is also why the cache key (shared
 	// with /v1/compile) ignores the worker count.
-	err = parallel.Collect(r.Context(), s.cfg.Workers, len(req.Items), func(i int) error {
+	err := parallel.Collect(ctx, s.cfg.Workers, len(req.Items), func(i int) error {
 		item := req.Items[i]
 		prog, err := item.Program()
 		if err != nil {
@@ -583,7 +640,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	writeJSON(w, http.StatusOK, batchResponse{Items: items})
+	return batchResponse{Items: items}
 }
 
 // unwrapJoined flattens an errors.Join tree one level.
@@ -755,5 +812,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	io.WriteString(w, s.met.render())
+	var b strings.Builder
+	b.WriteString(s.met.render())
+	renderJobsMetrics(&b, s.jobs.Metrics())
+	io.WriteString(w, b.String())
 }
