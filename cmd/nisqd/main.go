@@ -11,7 +11,11 @@
 //	POST /v1/estimate     analytic (and optionally Monte-Carlo) PST only
 //	POST /v1/batch        fan out many compile requests with per-item fault isolation
 //	POST /v1/portfolio    speculatively compile a policy×cycle candidate grid, ranked by ESP
-//	POST /v1/calibration  register a calgen-style JSON archive as a new device
+//	POST /v1/calibration  register a calgen-style JSON archive as a new device;
+//	                      ?name=D&append=true appends cycles to D's drift store
+//	GET  /v1/calibration/{device}  window of stored calibration cycles (?window=K)
+//	GET  /v1/drift/{device}        latest drift report (score, alarms, canary deltas);
+//	                               /{device}/events streams cycle/drift SSE
 //	GET  /v1/devices      list registered device models
 //	POST /v1/jobs         submit any of the above as a durable async job
 //	GET  /v1/jobs         list jobs; /v1/jobs/{id} polls one, /{id}/result
@@ -62,6 +66,11 @@ func main() {
 		kernel   = flag.String("kernel", "", "Monte-Carlo kernel when a request names none: packed (bit-parallel, default) or scalar (reference)")
 		jobsDir  = flag.String("jobs-dir", "", "durable job-queue directory for POST /v1/jobs (empty: jobs are in-memory and do not survive restarts)")
 		jobsW    = flag.Int("job-workers", 0, "worker goroutines executing queued jobs (0: one per CPU, <0: serial)")
+		driftDir = flag.String("drift-dir", "", "calibration cycle-store directory for the drift plane (empty: cycles are in-memory and do not survive restarts)")
+		driftThr = flag.Float64("drift-threshold", 0, "device drift score that triggers a canary recompile (0: detector default)")
+		driftWin = flag.Int("drift-window", 0, "calibration cycles per drift-detection window (0: default 8)")
+		driftHot = flag.Int("drift-hot", 0, "hot compiled circuits tracked per device as canary targets (0: default 8)")
+		driftCD  = flag.Duration("drift-cooldown", 0, "minimum wall-clock spacing between canary recompiles per device (0: no cooldown)")
 	)
 	flag.Parse()
 
@@ -73,8 +82,15 @@ func main() {
 		cliutil.Positive("max-inflight", *inflight),
 		cliutil.NonNegative("cache-entries", *cacheN),
 		cliutil.Workers("job-workers", *jobsW),
+		cliutil.NonNegative("drift-window", *driftWin),
+		cliutil.NonNegative("drift-hot", *driftHot),
+		cliutil.Timeout("drift-cooldown", *driftCD),
 	); err != nil {
 		fmt.Fprintln(os.Stderr, "nisqd:", err)
+		os.Exit(2)
+	}
+	if *driftThr < 0 {
+		fmt.Fprintf(os.Stderr, "nisqd: -drift-threshold must be >= 0 (got %v)\n", *driftThr)
 		os.Exit(2)
 	}
 	if !sim.ValidKernel(*kernel) {
@@ -96,6 +112,11 @@ func main() {
 			Dir:     *jobsDir,
 			Workers: *jobsW,
 		},
+		DriftDir:            *driftDir,
+		DriftThreshold:      *driftThr,
+		DriftWindow:         *driftWin,
+		DriftHotCircuits:    *driftHot,
+		DriftCanaryCooldown: *driftCD,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nisqd:", err)

@@ -1,0 +1,162 @@
+package caldrift
+
+import (
+	"context"
+	"fmt"
+
+	"vaq/internal/calib"
+	"vaq/internal/circuit"
+	"vaq/internal/device"
+	"vaq/internal/parallel"
+	"vaq/internal/portfolio"
+	"vaq/internal/sim"
+)
+
+// CanaryTarget is one hot circuit the canary recompiler re-evaluates
+// when its device drifts: the logical program plus the stale physical
+// circuit the serving cache would still hand out.
+type CanaryTarget struct {
+	// Name labels the target in the report (the serve layer uses the
+	// compile cache key's digest).
+	Name string
+	// Prog is the logical circuit, recompiled from scratch against the
+	// drifted calibration.
+	Prog *circuit.Circuit
+	// Stale is the physical circuit of the cached mapping, scored as-is
+	// on the drifted calibration.
+	Stale *circuit.Circuit
+}
+
+// CanaryConfig tunes the canary recompilation funnel.
+type CanaryConfig struct {
+	// Spec is the portfolio spec for the speculative recompile. Zero
+	// fields default to a deliberately small funnel (TopK 1, 2000 MC
+	// trials) — a canary predicts, it does not serve.
+	Spec portfolio.Spec
+	// Workers bounds the per-target fan-out (0: one per CPU, <0:
+	// serial). Deltas are bit-identical at any setting.
+	Workers int
+	// MaxTargets bounds how many hot circuits one canary run evaluates
+	// (default 8). Targets beyond it are skipped and counted.
+	MaxTargets int
+}
+
+// DefaultMaxTargets bounds a canary run's circuit fan-out.
+const DefaultMaxTargets = 8
+
+func (c CanaryConfig) withDefaults() CanaryConfig {
+	if c.MaxTargets <= 0 {
+		c.MaxTargets = DefaultMaxTargets
+	}
+	if c.Spec.TopK <= 0 {
+		c.Spec.TopK = 1
+	}
+	if c.Spec.Trials <= 0 {
+		c.Spec.Trials = 2000
+	}
+	return c
+}
+
+// CanaryDelta is the predicted effect of recompiling one hot circuit
+// against the drifted calibration: analytic PST of the stale cached
+// mapping scored on the new device, versus the best candidate of a
+// fresh portfolio run on the same device. Delta > 0 means
+// recompilation is predicted to recover success probability.
+type CanaryDelta struct {
+	Name string `json:"name"`
+	// StalePST is the cached mapping's analytic PST on the drifted
+	// calibration.
+	StalePST float64 `json:"stale_pst"`
+	// RecompiledPST is the best fresh candidate's analytic PST on the
+	// same calibration; Policy labels which grid point won.
+	RecompiledPST float64 `json:"recompiled_pst"`
+	Policy        string  `json:"policy"`
+	Delta         float64 `json:"delta"`
+	// Err records a failed recompile (the target's siblings still
+	// report).
+	Err string `json:"err,omitempty"`
+}
+
+// CanaryReport summarizes one canary run over a device's hot circuits.
+type CanaryReport struct {
+	Targets int `json:"targets"`
+	// Skipped counts hot circuits beyond the MaxTargets cap.
+	Skipped int           `json:"skipped,omitempty"`
+	Deltas  []CanaryDelta `json:"deltas"`
+	// MeanDelta and MaxDelta aggregate the successful deltas.
+	MeanDelta float64 `json:"mean_delta"`
+	MaxDelta  float64 `json:"max_delta"`
+}
+
+// Canary speculatively recompiles the hot targets against the drifted
+// calibration window (oldest first; the last cycle is the current
+// calibration) and reports the predicted-PST deltas. Targets keep
+// their order; a target whose recompile fails carries its error
+// instead of aborting the run. The report is a pure function of
+// (window, targets, cfg) — bit-identical at any worker count.
+func Canary(ctx context.Context, window []*calib.Snapshot, targets []CanaryTarget, cfg CanaryConfig) (*CanaryReport, error) {
+	cfg = cfg.withDefaults()
+	if len(window) == 0 {
+		return nil, fmt.Errorf("caldrift: canary needs a non-empty window")
+	}
+	current := window[len(window)-1]
+	d, err := device.New(current.Topo, current)
+	if err != nil {
+		return nil, fmt.Errorf("caldrift: canary device: %w", err)
+	}
+	arch := &calib.Archive{Topo: current.Topo, Snapshots: window}
+
+	rep := &CanaryReport{}
+	if len(targets) > cfg.MaxTargets {
+		rep.Skipped = len(targets) - cfg.MaxTargets
+		targets = targets[:cfg.MaxTargets]
+	}
+	rep.Targets = len(targets)
+
+	deltas, err := parallel.MapCtx(ctx, cfg.Workers, len(targets), func(i int) (CanaryDelta, error) {
+		t := targets[i]
+		out := CanaryDelta{Name: t.Name}
+		if t.Prog == nil || t.Stale == nil {
+			out.Err = "target has no circuit"
+			return out, nil
+		}
+		out.StalePST = sim.AnalyticPST(d, t.Stale, sim.Config{})
+		res, rerr := portfolio.Run(ctx, d, arch, t.Prog, cfg.Spec)
+		if rerr != nil {
+			out.Err = rerr.Error()
+			return out, nil
+		}
+		best := res.Best()
+		if best == nil {
+			out.Err = "portfolio produced no candidates"
+			return out, nil
+		}
+		// Both sides are analytic PST on the same device, so the delta
+		// isolates the mapping, not the estimator.
+		out.RecompiledPST = best.AnalyticPST
+		out.Policy = best.CandidateSpec.Label()
+		out.Delta = out.RecompiledPST - out.StalePST
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.Deltas = deltas
+
+	var sum float64
+	var n int
+	for _, dl := range deltas {
+		if dl.Err != "" {
+			continue
+		}
+		sum += dl.Delta
+		if dl.Delta > rep.MaxDelta {
+			rep.MaxDelta = dl.Delta
+		}
+		n++
+	}
+	if n > 0 {
+		rep.MeanDelta = sum / float64(n)
+	}
+	return rep, nil
+}

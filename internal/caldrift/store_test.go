@@ -1,0 +1,185 @@
+package caldrift
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vaq/internal/calib"
+)
+
+// genCycles produces n drifting Q5 calibration cycles from one seed.
+func genCycles(t *testing.T, seed int64, n int) []*calib.Snapshot {
+	t.Helper()
+	cfg := calib.DefaultQ5Config(seed)
+	cfg.Days = n
+	cfg.CyclesPerDay = 1
+	arch := calib.Generate(cfg)
+	if len(arch.Snapshots) != n {
+		t.Fatalf("generated %d cycles, want %d", len(arch.Snapshots), n)
+	}
+	return arch.Snapshots
+}
+
+func TestStoreAppendWindow(t *testing.T) {
+	s, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := genCycles(t, 7, 4)
+	for i, snap := range snaps {
+		cyc, err := s.Append("q5", snap)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if cyc != i {
+			t.Fatalf("append %d returned cycle %d", i, cyc)
+		}
+	}
+	if got := s.Len("q5"); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	w := s.Window("q5", 2)
+	if len(w) != 2 || w[0].Cycle != 2 || w[1].Cycle != 3 {
+		t.Fatalf("Window(2) = cycles %v", cyclesOf(w))
+	}
+	if w := s.Window("q5", 0); len(w) != 4 {
+		t.Fatalf("Window(0) returned %d cycles, want whole series", len(w))
+	}
+	if w := s.Window("q5", 99); len(w) != 4 {
+		t.Fatalf("oversized window returned %d cycles", len(w))
+	}
+	if w := s.Window("nope", 1); w != nil {
+		t.Fatalf("unknown device returned %d cycles", len(w))
+	}
+	if got := s.Devices(); len(got) != 1 || got[0] != "q5" {
+		t.Fatalf("Devices = %v", got)
+	}
+}
+
+func cyclesOf(snaps []*calib.Snapshot) []int {
+	out := make([]int, len(snaps))
+	for i, s := range snaps {
+		out[i] = s.Cycle
+	}
+	return out
+}
+
+func TestStoreRejections(t *testing.T) {
+	s, _ := Open("")
+	snaps := genCycles(t, 1, 1)
+	if _, err := s.Append("../evil", snaps[0]); err == nil {
+		t.Fatal("path-traversal device name accepted")
+	}
+	if _, err := s.Append("q5", nil); err == nil {
+		t.Fatal("nil snapshot accepted")
+	}
+	// Shape mismatch: a 20-qubit cycle on a 5-qubit series.
+	if _, err := s.Append("q5", snaps[0]); err != nil {
+		t.Fatal(err)
+	}
+	q20 := calib.Generate(calib.DefaultQ20Config(1))
+	if _, err := s.Append("q5", q20.Snapshots[0]); err == nil {
+		t.Fatal("topology-mismatched cycle accepted")
+	}
+	// An invalid snapshot (negative error rate) is rejected.
+	bad := snaps[0].Clone()
+	bad.Readout[0] = -0.5
+	if _, err := s.Append("q5", bad); err == nil {
+		t.Fatal("invalid snapshot accepted")
+	}
+}
+
+func TestStorePersistAndReload(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := genCycles(t, 11, 3)
+	for _, snap := range snaps {
+		if _, err := s.Append("q5", snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every acknowledged cycle has a durable envelope.
+	files, _ := filepath.Glob(filepath.Join(dir, "q5", "cycle-*.json"))
+	if len(files) != 3 {
+		t.Fatalf("%d envelopes on disk, want 3", len(files))
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := re.Len("q5"); got != 3 {
+		t.Fatalf("reloaded Len = %d, want 3", got)
+	}
+	// Reloaded cycles carry the same data.
+	orig, rel := s.Window("q5", 0), re.Window("q5", 0)
+	for i := range orig {
+		for _, c := range orig[i].Topo.Couplings {
+			if orig[i].TwoQubit[c] != rel[i].TwoQubit[c] {
+				t.Fatalf("cycle %d link %v differs after reload", i, c)
+			}
+		}
+	}
+	// Appends continue after reload without clobbering envelopes.
+	more := genCycles(t, 12, 1)
+	cyc, err := re.Append("q5", more[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cyc != 3 {
+		t.Fatalf("post-reload append returned cycle %d, want 3", cyc)
+	}
+}
+
+func TestStoreQuarantinesCorruptEnvelope(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	for _, snap := range genCycles(t, 3, 3) {
+		if _, err := s.Append("q5", snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victim := filepath.Join(dir, "q5", "cycle-000001.json")
+	if err := os.WriteFile(victim, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatalf("corrupt envelope failed the whole store: %v", err)
+	}
+	if got := re.Corrupt(); got != 1 {
+		t.Fatalf("Corrupt = %d, want 1", got)
+	}
+	if got := re.Len("q5"); got != 2 {
+		t.Fatalf("Len after quarantine = %d, want 2", got)
+	}
+	if _, err := os.Stat(victim + ".corrupt"); err != nil {
+		t.Fatalf("quarantined file not renamed aside: %v", err)
+	}
+}
+
+func TestStoreArchiveValidates(t *testing.T) {
+	s, _ := Open("")
+	for _, snap := range genCycles(t, 5, 3) {
+		if _, err := s.Append("q5", snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	arch, ok := s.Archive("q5", 0)
+	if !ok {
+		t.Fatal("Archive returned no data")
+	}
+	// Rebinding must leave the archive internally consistent — pointer
+	// topology equality included.
+	if err := arch.Validate(); err != nil {
+		t.Fatalf("stored archive fails calib validation: %v", err)
+	}
+	if _, ok := s.Archive("nope", 0); ok {
+		t.Fatal("Archive for unknown device reported ok")
+	}
+}

@@ -1,0 +1,147 @@
+// Package clock abstracts time behind an injectable interface so that
+// every time-dependent subsystem — the jobs plane's retry backoff and
+// token buckets, the calibration drift plane's canary cooldown — reads
+// one seam instead of calling time.Now and time.NewTimer directly.
+// Production code injects Real; tests inject a Fake and drive it with
+// Advance, so backoff and cooldown tests assert exact schedules instead
+// of sleeping.
+package clock
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock is the time source. Implementations must be safe for
+// concurrent use.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// NewTimer returns a timer that fires once after d (immediately
+	// for d <= 0, matching time.NewTimer's behavior closely enough for
+	// scheduling loops).
+	NewTimer(d time.Duration) Timer
+}
+
+// Timer is one pending firing. C yields the fire time exactly once;
+// Stop cancels a firing that has not yet been delivered and reports
+// whether it did.
+type Timer interface {
+	C() <-chan time.Time
+	Stop() bool
+}
+
+// Real is the production clock: time.Now and time.NewTimer.
+type Real struct{}
+
+func (Real) Now() time.Time { return time.Now() }
+
+func (Real) NewTimer(d time.Duration) Timer { return realTimer{time.NewTimer(d)} }
+
+type realTimer struct{ t *time.Timer }
+
+func (t realTimer) C() <-chan time.Time { return t.t.C }
+func (t realTimer) Stop() bool          { return t.t.Stop() }
+
+// Fake is a deterministic manual clock: Now returns a fixed instant
+// until Advance moves it, and timers fire synchronously inside the
+// Advance call that reaches their deadline. The zero value is not
+// usable; construct with NewFake.
+type Fake struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*fakeTimer
+}
+
+// NewFake returns a Fake pinned at start.
+func NewFake(start time.Time) *Fake {
+	return &Fake{now: start}
+}
+
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *Fake) NewTimer(d time.Duration) Timer {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	t := &fakeTimer{f: f, deadline: f.now.Add(d), ch: make(chan time.Time, 1)}
+	if d <= 0 {
+		t.fired = true
+		t.ch <- f.now
+		return t
+	}
+	f.waiters = append(f.waiters, t)
+	return t
+}
+
+// Advance moves the clock forward by d and fires, in deadline order,
+// every pending timer whose deadline is reached. Negative d panics —
+// a clock that runs backwards means a test bug, not a scenario.
+func (f *Fake) Advance(d time.Duration) {
+	if d < 0 {
+		panic("clock: Advance with negative duration")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = f.now.Add(d)
+	sort.SliceStable(f.waiters, func(i, j int) bool {
+		return f.waiters[i].deadline.Before(f.waiters[j].deadline)
+	})
+	remaining := f.waiters[:0]
+	for _, t := range f.waiters {
+		if t.deadline.After(f.now) {
+			remaining = append(remaining, t)
+			continue
+		}
+		t.fired = true
+		t.ch <- f.now
+	}
+	f.waiters = append([]*fakeTimer(nil), remaining...)
+}
+
+// Pending reports how many timers are waiting to fire — the hook a
+// test uses to know a scheduling loop has parked before advancing.
+func (f *Fake) Pending() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.waiters)
+}
+
+type fakeTimer struct {
+	f        *Fake
+	deadline time.Time
+	ch       chan time.Time
+	fired    bool
+	stopped  bool
+}
+
+func (t *fakeTimer) C() <-chan time.Time { return t.ch }
+
+func (t *fakeTimer) Stop() bool {
+	t.f.mu.Lock()
+	defer t.f.mu.Unlock()
+	if t.fired || t.stopped {
+		return false
+	}
+	t.stopped = true
+	for i, w := range t.f.waiters {
+		if w == t {
+			t.f.waiters = append(t.f.waiters[:i], t.f.waiters[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Or returns c unless it is nil, in which case the Real clock — the
+// defaulting idiom option structs use: `clock.Or(opts.Clock)`.
+func Or(c Clock) Clock {
+	if c == nil {
+		return Real{}
+	}
+	return c
+}

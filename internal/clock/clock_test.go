@@ -1,0 +1,152 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRealNow(t *testing.T) {
+	var c Clock = Real{}
+	before := time.Now()
+	got := c.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("Real.Now %v outside [%v, %v]", got, before, after)
+	}
+}
+
+func TestRealTimerFires(t *testing.T) {
+	tm := Real{}.NewTimer(time.Millisecond)
+	select {
+	case <-tm.C():
+	case <-time.After(5 * time.Second):
+		t.Fatal("real timer never fired")
+	}
+	if tm.Stop() {
+		t.Fatal("Stop after fire reported true")
+	}
+}
+
+func TestFakeNowFrozen(t *testing.T) {
+	start := time.Unix(1000, 0)
+	f := NewFake(start)
+	if !f.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", f.Now(), start)
+	}
+	f.Advance(3 * time.Second)
+	if want := start.Add(3 * time.Second); !f.Now().Equal(want) {
+		t.Fatalf("Now after Advance = %v, want %v", f.Now(), want)
+	}
+}
+
+func TestFakeTimerFiresOnAdvance(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	tm := f.NewTimer(10 * time.Second)
+	select {
+	case <-tm.C():
+		t.Fatal("timer fired before Advance")
+	default:
+	}
+	if got := f.Pending(); got != 1 {
+		t.Fatalf("Pending = %d, want 1", got)
+	}
+	f.Advance(9 * time.Second)
+	select {
+	case <-tm.C():
+		t.Fatal("timer fired 1s early")
+	default:
+	}
+	f.Advance(time.Second)
+	select {
+	case at := <-tm.C():
+		if want := time.Unix(10, 0); !at.Equal(want) {
+			t.Fatalf("fired at %v, want %v", at, want)
+		}
+	default:
+		t.Fatal("timer did not fire at its deadline")
+	}
+	if f.Pending() != 0 {
+		t.Fatalf("Pending = %d after fire, want 0", f.Pending())
+	}
+}
+
+func TestFakeTimerImmediate(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	for _, d := range []time.Duration{0, -time.Second} {
+		tm := f.NewTimer(d)
+		select {
+		case <-tm.C():
+		default:
+			t.Fatalf("NewTimer(%v) did not fire immediately", d)
+		}
+	}
+}
+
+func TestFakeTimerStop(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	tm := f.NewTimer(time.Second)
+	if !tm.Stop() {
+		t.Fatal("Stop on pending timer reported false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop reported true")
+	}
+	f.Advance(2 * time.Second)
+	select {
+	case <-tm.C():
+		t.Fatal("stopped timer fired")
+	default:
+	}
+}
+
+func TestFakeTimersFireInDeadlineOrder(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	late := f.NewTimer(3 * time.Second)
+	early := f.NewTimer(1 * time.Second)
+	f.Advance(5 * time.Second)
+	a := <-early.C()
+	b := <-late.C()
+	if !a.Equal(b) {
+		// Both fire inside one Advance, at the post-advance instant.
+		t.Fatalf("fire times differ: early %v, late %v", a, b)
+	}
+}
+
+func TestFakeAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	NewFake(time.Unix(0, 0)).Advance(-time.Second)
+}
+
+func TestOr(t *testing.T) {
+	if _, ok := Or(nil).(Real); !ok {
+		t.Fatal("Or(nil) is not Real")
+	}
+	f := NewFake(time.Unix(0, 0))
+	if Or(f) != Clock(f) {
+		t.Fatal("Or(f) did not pass f through")
+	}
+}
+
+func TestFakeConcurrentUse(t *testing.T) {
+	// Raced by `go test -race`: concurrent NewTimer/Advance/Now must
+	// be safe — the jobs-plane worker loop parks on timers while tests
+	// advance from another goroutine.
+	f := NewFake(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			tm := f.NewTimer(time.Duration(i%7) * time.Millisecond)
+			tm.Stop()
+			f.Now()
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		f.Advance(time.Millisecond)
+	}
+	<-done
+}

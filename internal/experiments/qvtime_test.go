@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vaq/internal/calib"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestQVTimeSweep checks shape, bounds, the recompile trigger, and
+// determinism across worker counts.
+func TestQVTimeSweep(t *testing.T) {
+	cfg := Config{Seed: 2019, Trials: 100}
+	rows, err := QVTimeSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles := qvtimeDays * calib.ZooCyclesPerDay
+	if want := len(calib.Tiers()) * cycles; len(rows) != want {
+		t.Fatalf("%d rows, want %d", len(rows), want)
+	}
+
+	recompiles := map[calib.VarianceTier]int{}
+	recovered := map[calib.VarianceTier]float64{}
+	for _, r := range rows {
+		if r.StalePST <= 0 || r.StalePST > 1 || r.AwarePST <= 0 || r.AwarePST > 1 {
+			t.Errorf("%s cycle %d: PSTs out of range: %+v", r.Tier, r.Cycle, r)
+		}
+		if r.StaleHOP < 0.5 || r.StaleHOP > 1 || r.AwareHOP < 0.5 || r.AwareHOP > 1 {
+			t.Errorf("%s cycle %d: HOPs out of range: %+v", r.Tier, r.Cycle, r)
+		}
+		if got := r.AwarePST - r.StalePST; got != r.Recovered {
+			t.Errorf("%s cycle %d: Recovered %v != AwarePST-StalePST %v", r.Tier, r.Cycle, r.Recovered, got)
+		}
+		if r.Cycle == 0 && (r.Score != 0 || r.Recompiled) {
+			t.Errorf("%s cycle 0: expected no detection before the second cycle: %+v", r.Tier, r)
+		}
+		if r.Recompiled {
+			recompiles[r.Tier]++
+		}
+		recovered[r.Tier] += r.Recovered / float64(cycles)
+	}
+	for _, tier := range calib.Tiers() {
+		if recompiles[tier] == 0 {
+			t.Errorf("tier %s: drift never triggered a recompile over %d cycles", tier, cycles)
+		}
+	}
+	// The experiment's headline: on the high-variance fleet the
+	// drift-triggered recompile recovers PST that the stale mapping
+	// loses; low-variance fleets have little to recover.
+	if recovered[calib.TierHigh] <= 0.01 {
+		t.Errorf("high tier mean recovered PST %.4f, want > 0.01", recovered[calib.TierHigh])
+	}
+	if recovered[calib.TierHigh] <= recovered[calib.TierLow] {
+		t.Errorf("recovery should grow with variance: high %.4f <= low %.4f",
+			recovered[calib.TierHigh], recovered[calib.TierLow])
+	}
+
+	for _, workers := range []int{-1, 1, 2} {
+		wcfg := cfg
+		wcfg.Workers = workers
+		again, err := QVTimeSweep(wcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range rows {
+			if rows[i] != again[i] {
+				t.Fatalf("row %d differs at workers=%d:\nbase %+v\ngot  %+v", i, workers, rows[i], again[i])
+			}
+		}
+	}
+}
+
+// TestQVTimeGolden pins the rendered table byte-for-byte; refresh with
+// `go test ./internal/experiments -run QVTimeGolden -update`.
+func TestQVTimeGolden(t *testing.T) {
+	rows, err := QVTimeSweep(Config{Seed: 2019, Trials: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := []byte(QVTimeTable(rows).String())
+	path := filepath.Join("testdata", "golden", "qvtime.txt")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (rerun with -update): %v", path, err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("qvtime table drifted from golden %s (rerun with -update if intended)\ngot:\n%s\nwant:\n%s", path, got, want)
+	}
+}

@@ -25,7 +25,7 @@ const (
 	EventCancelled = "cancelled"
 )
 
-// maxEventHistory bounds each job's replay buffer; older events are
+// maxEventHistory bounds each key's replay buffer; older events are
 // dropped from replay (Seq gaps tell a subscriber this happened).
 const maxEventHistory = 64
 
@@ -34,10 +34,12 @@ const maxEventHistory = 64
 // otherwise wedge every publisher); SSE clients see the gap via Seq.
 const subBuffer = 64
 
-// broker fans job lifecycle events out to subscribers and keeps a
-// bounded per-job replay history, so a poll-then-subscribe client never
-// misses the events between its two calls.
-type broker struct {
+// Broker fans lifecycle events out to subscribers and keeps a bounded
+// per-key replay history, so a poll-then-subscribe client never misses
+// the events between its two calls. The job plane keys feeds by job ID;
+// the calibration drift plane reuses the same plumbing keyed by device
+// name. Construct with NewBroker; a Broker is safe for concurrent use.
+type Broker struct {
 	mu     sync.Mutex
 	feeds  map[string]*feed
 	closed bool
@@ -51,11 +53,16 @@ type feed struct {
 	done    bool // terminal event published; new subscribers get a closed channel
 }
 
-func newBroker() *broker {
-	return &broker{feeds: make(map[string]*feed)}
+// NewBroker returns an empty broker.
+func NewBroker() *Broker {
+	return &Broker{feeds: make(map[string]*feed)}
 }
 
-func (b *broker) feedFor(id string) *feed {
+// newBroker keeps the package-internal constructor name used by the
+// manager.
+func newBroker() *Broker { return NewBroker() }
+
+func (b *Broker) feedFor(id string) *feed {
 	f, ok := b.feeds[id]
 	if !ok {
 		f = &feed{subs: make(map[int]chan Event)}
@@ -64,9 +71,11 @@ func (b *broker) feedFor(id string) *feed {
 	return f
 }
 
-// publish appends an event to id's history and delivers it to every
-// subscriber that has room. A terminal event closes all subscriptions.
-func (b *broker) publish(id string, ev Event) {
+// Publish appends an event to id's history and delivers it to every
+// subscriber that has room. An event whose State is terminal closes all
+// of the key's subscriptions; events with a zero State never terminate
+// a feed (the drift plane's feeds are open-ended).
+func (b *Broker) Publish(id string, ev Event) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed {
@@ -98,11 +107,11 @@ func (b *broker) publish(id string, ev Event) {
 	}
 }
 
-// subscribe returns id's replayable history plus a live channel. The
-// channel is closed after the job's terminal event (immediately, if the
-// job already finished). cancel is idempotent and must be called when
+// Subscribe returns id's replayable history plus a live channel. The
+// channel is closed after the key's terminal event (immediately, if one
+// was already published). cancel is idempotent and must be called when
 // the subscriber goes away.
-func (b *broker) subscribe(id string) (history []Event, ch <-chan Event, cancel func()) {
+func (b *Broker) Subscribe(id string) (history []Event, ch <-chan Event, cancel func()) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	f := b.feedFor(id)
@@ -125,8 +134,8 @@ func (b *broker) subscribe(id string) (history []Event, ch <-chan Event, cancel 
 	}
 }
 
-// drop discards a job's feed (retention eviction).
-func (b *broker) drop(id string) {
+// Drop discards a key's feed (retention eviction).
+func (b *Broker) Drop(id string) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if f, ok := b.feeds[id]; ok {
@@ -138,8 +147,9 @@ func (b *broker) drop(id string) {
 	}
 }
 
-// close closes every live subscription (manager shutdown).
-func (b *broker) close() {
+// Close closes every live subscription (shutdown). Further publishes
+// are discarded.
+func (b *Broker) Close() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed {

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"vaq/internal/clock"
 	"vaq/internal/parallel"
 )
 
@@ -37,8 +38,11 @@ type Options struct {
 	// AgingInterval is how long a queued job waits to gain one
 	// priority rank (default 30s).
 	AgingInterval time.Duration
-	// Clock overrides time.Now (tests).
-	Clock func() time.Time
+	// Clock is the time source behind admission timestamps, token
+	// buckets, retry scheduling, and the worker loop's backoff timers
+	// (default clock.Real). Tests inject a clock.Fake and Advance it
+	// instead of sleeping.
+	Clock clock.Clock
 }
 
 func (o Options) withDefaults() Options {
@@ -57,9 +61,7 @@ func (o Options) withDefaults() Options {
 	if o.AgingInterval <= 0 {
 		o.AgingInterval = 30 * time.Second
 	}
-	if o.Clock == nil {
-		o.Clock = time.Now
-	}
+	o.Clock = clock.Or(o.Clock)
 	return o
 }
 
@@ -80,7 +82,7 @@ type Manager struct {
 	opts Options
 	be   Backend
 	st   *store
-	br   *broker
+	br   *Broker
 
 	mu            sync.Mutex
 	jobs          map[string]*job
@@ -143,7 +145,7 @@ func NewManager(opts Options, be Backend) (*Manager, error) {
 		return nil, err
 	}
 	m.corrupt = int64(corrupt)
-	now := opts.Clock()
+	now := opts.Clock.Now()
 	for _, j := range loaded {
 		if j.Seq > m.seq {
 			m.seq = j.Seq
@@ -160,7 +162,7 @@ func NewManager(opts Options, be Backend) (*Manager, error) {
 			m.outcomes[CounterKey{State: j.State, Class: j.Class, Tenant: j.Tenant}]++
 			m.terminalOrder = append(m.terminalOrder, j.ID)
 			m.persistLocked(j)
-			m.br.publish(j.ID, Event{Type: EventCancelled, State: StateCancelled, Attempt: j.Attempt})
+			m.br.Publish(j.ID, Event{Type: EventCancelled, State: StateCancelled, Attempt: j.Attempt})
 		default:
 			if j.State == StateRunning {
 				// Crashed mid-attempt: the attempt never finished, so it
@@ -177,7 +179,7 @@ func NewManager(opts Options, be Backend) (*Manager, error) {
 			m.quotas.live[j.Tenant]++
 			m.q.push(j, now)
 			m.queued++
-			m.br.publish(j.ID, Event{Type: EventRecovered, State: StateQueued, Attempt: j.Attempt,
+			m.br.Publish(j.ID, Event{Type: EventRecovered, State: StateQueued, Attempt: j.Attempt,
 				Message: fmt.Sprintf("recovered from store (interruptions: %d)", j.Interruptions)})
 		}
 	}
@@ -219,7 +221,7 @@ func (m *Manager) Drain(ctx context.Context) error {
 	go func() { m.wg.Wait(); close(done) }()
 	select {
 	case <-done:
-		m.br.close()
+		m.br.Close()
 		return nil
 	case <-ctx.Done():
 	}
@@ -230,7 +232,7 @@ func (m *Manager) Drain(ctx context.Context) error {
 	}
 	m.mu.Unlock()
 	<-done
-	m.br.close()
+	m.br.Close()
 	if n > 0 {
 		return fmt.Errorf("jobs: drain deadline: %d running job(s) interrupted and re-queued", n)
 	}
@@ -255,7 +257,7 @@ func (m *Manager) Submit(spec Spec) (*View, error) {
 	}
 
 	m.mu.Lock()
-	now := m.opts.Clock()
+	now := m.opts.Clock.Now()
 	if m.draining {
 		m.shed["draining"]++
 		m.mu.Unlock()
@@ -298,7 +300,7 @@ func (m *Manager) Submit(spec Spec) (*View, error) {
 	m.queued++
 	v := j.view()
 	m.mu.Unlock()
-	m.br.publish(v.ID, Event{Type: EventQueued, State: StateQueued})
+	m.br.Publish(v.ID, Event{Type: EventQueued, State: StateQueued})
 	m.wakeOne()
 	return v, nil
 }
@@ -361,7 +363,7 @@ func (m *Manager) Cancel(id string) (*View, error) {
 		m.mu.Unlock()
 		return nil, ErrUnknownJob
 	}
-	now := m.opts.Clock()
+	now := m.opts.Clock.Now()
 	switch {
 	case j.State.Terminal():
 		v := j.view()
@@ -374,7 +376,7 @@ func (m *Manager) Cancel(id string) (*View, error) {
 		m.finishLocked(j, now)
 		v := j.view()
 		m.mu.Unlock()
-		m.br.publish(id, Event{Type: EventCancelled, State: StateCancelled, Attempt: v.Attempt})
+		m.br.Publish(id, Event{Type: EventCancelled, State: StateCancelled, Attempt: v.Attempt})
 		return v, nil
 	default: // running
 		j.CancelRequest = true
@@ -398,7 +400,7 @@ func (m *Manager) Subscribe(id string) (history []Event, ch <-chan Event, cancel
 	if !ok {
 		return nil, nil, nil, ErrUnknownJob
 	}
-	history, ch, cancel = m.br.subscribe(id)
+	history, ch, cancel = m.br.Subscribe(id)
 	return history, ch, cancel, nil
 }
 
@@ -413,7 +415,7 @@ func (m *Manager) worker() {
 			m.mu.Unlock()
 			return
 		}
-		now := m.opts.Clock()
+		now := m.opts.Clock.Now()
 		j, wait := m.q.pop(now)
 		if j != nil {
 			m.queued--
@@ -428,16 +430,18 @@ func (m *Manager) worker() {
 			if more {
 				m.wakeOne() // chain-wake: more ready work than awake workers
 			}
-			m.br.publish(w.ID, Event{Type: EventStarted, State: StateRunning, Attempt: w.Attempt})
+			m.br.Publish(w.ID, Event{Type: EventStarted, State: StateRunning, Attempt: w.Attempt})
 			m.attempt(jctx, cancel, j, w)
 			continue
 		}
 		m.mu.Unlock()
 		var timerC <-chan time.Time
-		var timer *time.Timer
+		var timer clock.Timer
 		if wait > 0 {
-			timer = time.NewTimer(wait)
-			timerC = timer.C
+			// The injected clock schedules the retry-due wakeup, so a
+			// fake clock drives backoff tests without real sleeping.
+			timer = m.opts.Clock.NewTimer(wait)
+			timerC = timer.C()
 		}
 		select {
 		case <-m.stopClaim:
@@ -462,7 +466,7 @@ func (m *Manager) attempt(jctx context.Context, cancel context.CancelCauseFunc, 
 	var body []byte
 	err := parallel.Protect(func() error {
 		b, e := m.be.Execute(actx, w, func(msg string) {
-			m.br.publish(w.ID, Event{Type: EventProgress, State: StateRunning, Attempt: w.Attempt, Message: msg})
+			m.br.Publish(w.ID, Event{Type: EventProgress, State: StateRunning, Attempt: w.Attempt, Message: msg})
 		})
 		body = b
 		return e
@@ -473,7 +477,7 @@ func (m *Manager) attempt(jctx context.Context, cancel context.CancelCauseFunc, 
 
 	m.mu.Lock()
 	delete(m.running, j.ID)
-	now := m.opts.Clock()
+	now := m.opts.Clock.Now()
 	var ev Event
 	switch {
 	case err == nil:
@@ -518,7 +522,7 @@ func (m *Manager) attempt(jctx context.Context, cancel context.CancelCauseFunc, 
 		ev = Event{Type: EventFailed, State: StateFailed, Attempt: w.Attempt, Message: err.Error()}
 	}
 	m.mu.Unlock()
-	m.br.publish(w.ID, ev)
+	m.br.Publish(w.ID, ev)
 	if ev.Type == EventRetrying || ev.Type == EventRecovered {
 		m.wakeOne()
 	}
@@ -550,7 +554,7 @@ func (m *Manager) evictLocked() {
 		if j, ok := m.jobs[id]; ok && j.State.Terminal() {
 			delete(m.jobs, id)
 			m.st.remove(id)
-			m.br.drop(id)
+			m.br.Drop(id)
 		}
 	}
 }

@@ -12,6 +12,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"vaq/internal/clock"
 )
 
 // echoBackend succeeds immediately, returning the request bytes.
@@ -113,7 +115,36 @@ func TestSubmitValidation(t *testing.T) {
 	}
 }
 
+// waitStateClocked is waitState for managers on a fake clock: whenever
+// the worker loop is parked on a backoff timer, the clock is advanced
+// past it instead of sleeping through the backoff for real.
+func waitStateClocked(t *testing.T, m *Manager, f *clock.Fake, id string, want State) *View {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		v, ok := m.Get(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		if v.State == want {
+			return v
+		}
+		if f.Pending() > 0 {
+			f.Advance(12 * time.Hour) // past any hour-scale backoff
+		} else {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	v, _ := m.Get(id)
+	t.Fatalf("job %s never reached %s (now %+v)", id, want, v)
+	return nil
+}
+
 func TestRetryBackoffThenSuccess(t *testing.T) {
+	// Hour-scale backoffs on a fake clock: the test can only pass inside
+	// its 10-second wall-clock deadline if the retry schedule runs on
+	// the injected clock, never on real sleeps.
+	fake := clock.NewFake(time.Unix(1700000000, 0))
 	var calls atomic.Int32
 	be := BackendFunc(func(_ context.Context, w Work, _ func(string)) ([]byte, error) {
 		if calls.Add(1) < 3 {
@@ -123,7 +154,8 @@ func TestRetryBackoffThenSuccess(t *testing.T) {
 	})
 	m, err := NewManager(Options{
 		Workers: 1,
-		Retry:   Policy{MaxAttempts: 3, Base: time.Millisecond, Max: 2 * time.Millisecond},
+		Clock:   fake,
+		Retry:   Policy{MaxAttempts: 3, Base: time.Hour, Max: 4 * time.Hour},
 	}, be)
 	if err != nil {
 		t.Fatal(err)
@@ -132,7 +164,7 @@ func TestRetryBackoffThenSuccess(t *testing.T) {
 	defer m.Drain(context.Background())
 
 	v := submitOK(t, m, spec(KindEstimate, `{}`))
-	final := waitState(t, m, v.ID, StateSucceeded)
+	final := waitStateClocked(t, m, fake, v.ID, StateSucceeded)
 	if final.Attempt != 3 {
 		t.Fatalf("Attempt = %d, want 3", final.Attempt)
 	}
@@ -142,12 +174,14 @@ func TestRetryBackoffThenSuccess(t *testing.T) {
 }
 
 func TestRetryBudgetExhausted(t *testing.T) {
+	fake := clock.NewFake(time.Unix(1700000000, 0))
 	be := BackendFunc(func(context.Context, Work, func(string)) ([]byte, error) {
 		return nil, errors.New("always broken")
 	})
 	m, err := NewManager(Options{
 		Workers: 1,
-		Retry:   Policy{MaxAttempts: 2, Base: time.Millisecond, Max: 2 * time.Millisecond},
+		Clock:   fake,
+		Retry:   Policy{MaxAttempts: 2, Base: time.Hour, Max: 4 * time.Hour},
 	}, be)
 	if err != nil {
 		t.Fatal(err)
@@ -156,7 +190,7 @@ func TestRetryBudgetExhausted(t *testing.T) {
 	defer m.Drain(context.Background())
 
 	v := submitOK(t, m, spec(KindCompile, `{}`))
-	final := waitState(t, m, v.ID, StateFailed)
+	final := waitStateClocked(t, m, fake, v.ID, StateFailed)
 	if final.Attempt != 2 || final.Failure == nil || final.Failure.Permanent {
 		t.Fatalf("unexpected final view: %+v (failure %+v)", final, final.Failure)
 	}
@@ -362,7 +396,10 @@ func TestRunningJobRecoveredAsInterrupted(t *testing.T) {
 	if final.Attempt != 1 || final.Interruptions != 1 {
 		t.Fatalf("final view = %+v", final)
 	}
-	close(be.release) // unblock A's leaked worker
+	// Unblock A's worker and drain it, so its final persist cannot race
+	// the test directory's cleanup.
+	close(be.release)
+	a.Drain(context.Background())
 }
 
 func TestCorruptStoreFilesQuarantined(t *testing.T) {

@@ -135,6 +135,85 @@ func TestConcurrentRouteSharedDevice(t *testing.T) {
 	}
 }
 
+// TestCacheStatsConcurrentEviction churns distinct fingerprints past the
+// cache bound from many goroutines while readers poll CacheStats.
+// scripts/check.sh runs this under -race; the assertions check the
+// counter accounting stays coherent through concurrent overflow sweeps:
+// every lookup lands in exactly one of hits/misses, evictions only grow,
+// and the final eviction total reflects at least one full sweep.
+func TestCacheStatsConcurrentEviction(t *testing.T) {
+	resetCostCache()
+	cacheStats.Reset()
+	tp := topo.Linear(3)
+	mkDevice := func(worker, i int) *device.Device {
+		s := calib.NewSnapshot(tp)
+		for _, c := range tp.Couplings {
+			s.TwoQubit[c] = 0.001 + 0.00001*float64(worker*10000+i) // unique rates → unique fingerprint
+		}
+		for q := 0; q < tp.NumQubits; q++ {
+			s.OneQubit[q] = 0.001
+			s.Readout[q] = 0.01
+			s.T1Us[q], s.T2Us[q] = 80, 40
+		}
+		return device.MustNew(tp, s)
+	}
+
+	const workers = 8
+	perWorker := maxCostEntries/workers + 64 // total > maxCostEntries → at least one sweep
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	// Readers: CacheStats must be safe to poll mid-sweep.
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			var last uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := CacheStats()
+				if snap.Evictions < last {
+					t.Errorf("evictions went backwards: %d -> %d", last, snap.Evictions)
+					return
+				}
+				last = snap.Evictions
+			}
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < perWorker; i++ {
+				cachedCosts(mkDevice(w, i), CostHops)
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	snap := CacheStats()
+	lookups := workers * perWorker
+	if got := snap.Hits + snap.Misses; got != uint64(lookups) {
+		t.Errorf("hits+misses = %d, want %d (every lookup counted once)", got, lookups)
+	}
+	if snap.Misses == 0 || snap.Misses > uint64(lookups) {
+		t.Errorf("misses = %d out of %d lookups", snap.Misses, lookups)
+	}
+	if snap.Evictions == 0 {
+		t.Errorf("no evictions after %d distinct fingerprints (bound %d)", lookups, maxCostEntries)
+	}
+	if n := costCacheLen(); n > maxCostEntries {
+		t.Errorf("cache grew to %d entries, bound is %d", n, maxCostEntries)
+	}
+	resetCostCache()
+	cacheStats.Reset()
+}
+
 // TestCostCacheBounded overfills the cache with distinct tiny devices and
 // checks the size bound holds.
 func TestCostCacheBounded(t *testing.T) {

@@ -1,0 +1,428 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"vaq/internal/caldrift"
+	"vaq/internal/calib"
+	"vaq/internal/circuit"
+	"vaq/internal/clock"
+	"vaq/internal/jobs"
+	"vaq/internal/portfolio"
+)
+
+// driftState is the server's calibration drift plane: the durable
+// per-device cycle store, the latest drift report per device, the
+// per-device hot-circuit set the canary recompiler draws targets from,
+// and the SSE broker drift feeds hang off. All decision paths run on
+// the injected clock; reports carry no wall-clock state.
+type driftState struct {
+	store  *caldrift.Store
+	detect caldrift.DetectConfig
+	canary caldrift.CanaryConfig
+	window int
+	maxHot int
+	cool   time.Duration
+	clk    clock.Clock
+	events *jobs.Broker
+
+	mu      sync.Mutex
+	hot     map[string][]hotCircuit
+	reports map[string]*caldrift.Report
+	// lastCanary gates canary runs per device under the cooldown (on
+	// the injected clock, so tests drive it with a fake).
+	lastCanary map[string]time.Time
+
+	cycles     int64
+	triggers   int64
+	canaryRuns int64
+	suppressed int64
+}
+
+// hotCircuit is one LRU entry of a device's hot set: the logical
+// program plus the stale physical mapping the response cache serves.
+type hotCircuit struct {
+	key   string
+	prog  *circuit.Circuit
+	stale *circuit.Circuit
+}
+
+// Drift event types published on the device feeds.
+const (
+	DriftEventCycle     = "cycle"
+	DriftEventTriggered = "drift"
+)
+
+func newDriftState(cfg Config) (*driftState, error) {
+	store, err := caldrift.Open(cfg.DriftDir)
+	if err != nil {
+		return nil, err
+	}
+	return &driftState{
+		store:  store,
+		detect: caldrift.DetectConfig{Threshold: cfg.DriftThreshold},
+		canary: caldrift.CanaryConfig{
+			MaxTargets: cfg.DriftHotCircuits,
+			Spec:       canarySpec(cfg),
+		},
+		window:     cfg.DriftWindow,
+		maxHot:     cfg.DriftHotCircuits,
+		cool:       cfg.DriftCanaryCooldown,
+		clk:        clock.Or(cfg.Clock),
+		events:     jobs.NewBroker(),
+		hot:        make(map[string][]hotCircuit),
+		reports:    make(map[string]*caldrift.Report),
+		lastCanary: make(map[string]time.Time),
+	}, nil
+}
+
+// canarySpec keeps the speculative recompile cheap: the full policy
+// grid on the drifted calibration window, but a single Monte-Carlo
+// refinement slot with a small budget — the canary predicts analytic
+// PST deltas, it does not serve candidates.
+func canarySpec(cfg Config) portfolio.Spec {
+	return portfolio.Spec{
+		RootSeed:     DefaultSeed,
+		Cycles:       cfg.DriftWindow,
+		RandomStarts: -1,
+		TopK:         1,
+		Trials:       2000,
+		Workers:      cfg.Workers,
+	}
+}
+
+// noteHot records a compile-cache miss as a hot circuit: the freshest
+// mapping the cache will now serve for key, and the canary's
+// recompile-from-scratch baseline. Most recent last; the set is the
+// per-device LRU the canary drains.
+func (ds *driftState) noteHot(device, key string, prog, stale *circuit.Circuit) {
+	if stale == nil || prog == nil {
+		return
+	}
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	set := ds.hot[device]
+	for i, h := range set {
+		if h.key == key {
+			set = append(append(set[:i:i], set[i+1:]...), h)
+			ds.hot[device] = set
+			return
+		}
+	}
+	set = append(set, hotCircuit{key: key, prog: prog, stale: stale})
+	if len(set) > ds.maxHot {
+		set = set[len(set)-ds.maxHot:]
+	}
+	ds.hot[device] = set
+}
+
+// touchHot refreshes a hot circuit's LRU position on a cache hit.
+func (ds *driftState) touchHot(device, key string) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	set := ds.hot[device]
+	for i, h := range set {
+		if h.key == key {
+			ds.hot[device] = append(append(set[:i:i], set[i+1:]...), h)
+			return
+		}
+	}
+}
+
+// targets snapshots a device's hot set as canary targets, hottest
+// first.
+func (ds *driftState) targets(device string) []caldrift.CanaryTarget {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	set := ds.hot[device]
+	out := make([]caldrift.CanaryTarget, 0, len(set))
+	for i := len(set) - 1; i >= 0; i-- {
+		h := set[i]
+		out = append(out, caldrift.CanaryTarget{Name: h.key, Prog: h.prog, Stale: h.stale})
+	}
+	return out
+}
+
+// report returns the latest drift report for a device.
+func (ds *driftState) report(device string) (*caldrift.Report, bool) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	rep, ok := ds.reports[device]
+	return rep, ok
+}
+
+// canaryDue consults and arms the per-device cooldown on the injected
+// clock.
+func (ds *driftState) canaryDue(device string) bool {
+	if ds.cool <= 0 {
+		return true
+	}
+	now := ds.clk.Now()
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if last, ok := ds.lastCanary[device]; ok && now.Sub(last) < ds.cool {
+		return false
+	}
+	ds.lastCanary[device] = now
+	return true
+}
+
+// driftMetrics is the snapshot handleMetrics renders.
+type driftMetrics struct {
+	cycles, triggers, canaryRuns, suppressed, corrupt int64
+	scores                                            map[string]float64
+}
+
+func (ds *driftState) metrics() driftMetrics {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	m := driftMetrics{
+		cycles:     ds.cycles,
+		triggers:   ds.triggers,
+		canaryRuns: ds.canaryRuns,
+		suppressed: ds.suppressed,
+		scores:     make(map[string]float64, len(ds.reports)),
+	}
+	for dev, rep := range ds.reports {
+		m.scores[dev] = rep.Score
+	}
+	m.corrupt = ds.store.Corrupt()
+	return m
+}
+
+// handleCalibrationAppend is the drift plane's ingest path, reached
+// through POST /v1/calibration?append=true: every snapshot in the body
+// becomes one durable cycle in the named device's series
+// (persist-before-ack), then the drift detector — and past threshold,
+// the canary recompiler — runs over the updated window.
+func (s *Server) handleCalibrationAppend(w http.ResponseWriter, r *http.Request, name string, arch *calib.Archive) {
+	if name == "" {
+		writeError(w, http.StatusBadRequest, "append requires an explicit device name")
+		return
+	}
+	if len(arch.Snapshots) == 0 {
+		writeError(w, http.StatusBadRequest, "append requires at least one calibration cycle")
+		return
+	}
+	// Appends target a registered device: the drift score is relative
+	// to that device's fingerprinted baseline series, so an unknown
+	// name is a 404, not an implicit registration.
+	d, err := s.lookupDevice(name)
+	if err != nil {
+		writeError(w, errorStatus(err), err.Error())
+		return
+	}
+	// The cycles must describe the registered device's topology — the
+	// store's own first-append-fixes-topology rule would otherwise let
+	// a wrong-device feed seed the series.
+	dt := d.Topology()
+	if arch.Topo.NumQubits != dt.NumQubits || len(arch.Topo.Couplings) != len(dt.Couplings) {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf(
+			"cycle topology (%d qubits, %d couplings) does not match device %q (%d qubits, %d couplings)",
+			arch.Topo.NumQubits, len(arch.Topo.Couplings), name, dt.NumQubits, len(dt.Couplings)))
+		return
+	}
+	for _, c := range arch.Topo.Couplings {
+		if !dt.Adjacent(c.A, c.B) {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf(
+				"cycle topology has link %d-%d, which device %q lacks", c.A, c.B, name))
+			return
+		}
+	}
+	var appended []int
+	for _, snap := range arch.Snapshots {
+		cyc, err := s.drift.store.Append(name, snap)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		appended = append(appended, cyc)
+		s.drift.mu.Lock()
+		s.drift.cycles++
+		s.drift.mu.Unlock()
+		s.drift.events.Publish(name, jobs.Event{
+			Type:    DriftEventCycle,
+			Attempt: cyc,
+			Message: fmt.Sprintf("cycle %d appended", cyc),
+		})
+	}
+
+	rep := s.runDrift(r.Context(), name)
+	resp := struct {
+		Device   string           `json:"device"`
+		Appended []int            `json:"appended"`
+		Cycles   int              `json:"cycles"`
+		Drift    *caldrift.Report `json:"drift,omitempty"`
+	}{Device: name, Appended: appended, Cycles: s.drift.store.Len(name), Drift: rep}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// runDrift detects drift over the device's current window and, when
+// triggered and due, runs the canary recompiler over the hot set. The
+// resulting report is retained for GET /v1/drift/{device} and
+// published on the device's event feed.
+func (s *Server) runDrift(ctx context.Context, name string) *caldrift.Report {
+	window := s.drift.store.Window(name, s.drift.window)
+	if len(window) < 2 {
+		return nil
+	}
+	rep, err := caldrift.Detect(name, window, s.drift.detect)
+	if err != nil {
+		return nil
+	}
+	if rep.Triggered {
+		s.drift.mu.Lock()
+		s.drift.triggers++
+		s.drift.mu.Unlock()
+		if s.drift.canaryDue(name) {
+			if targets := s.drift.targets(name); len(targets) > 0 {
+				canary, err := caldrift.Canary(ctx, window, targets, s.drift.canary)
+				if err == nil {
+					rep.Canary = canary
+					s.drift.mu.Lock()
+					s.drift.canaryRuns++
+					s.drift.mu.Unlock()
+				}
+			}
+		} else {
+			s.drift.mu.Lock()
+			s.drift.suppressed++
+			s.drift.mu.Unlock()
+		}
+	}
+	s.drift.mu.Lock()
+	s.drift.reports[name] = rep
+	s.drift.mu.Unlock()
+	if rep.Triggered {
+		msg := fmt.Sprintf("drift score %.4f over threshold %.4f", rep.Score, rep.Threshold)
+		if rep.Canary != nil {
+			msg += fmt.Sprintf("; canary: %d circuits, mean predicted delta %+.4f", rep.Canary.Targets, rep.Canary.MeanDelta)
+		}
+		s.drift.events.Publish(name, jobs.Event{Type: DriftEventTriggered, Message: msg})
+	}
+	return rep
+}
+
+// handleCalibrationWindow serves GET /v1/calibration/{device}?window=K:
+// the last K stored cycles in the self-describing calib wire format.
+func (s *Server) handleCalibrationWindow(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("device")
+	k, err := caldrift.ParseWindow(r.URL.Query().Get("window"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	arch, ok := s.drift.store.Archive(name, k)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no calibration cycles stored for device %q", name))
+		return
+	}
+	var buf bytes.Buffer
+	if err := arch.WriteJSON(&buf); err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf.Bytes())
+}
+
+// handleDriftReport serves GET /v1/drift/{device}: the latest drift
+// report, canary deltas included when one ran.
+func (s *Server) handleDriftReport(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("device")
+	rep, ok := s.drift.report(name)
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			fmt.Sprintf("no drift report for device %q (append >= 2 calibration cycles first)", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// handleDriftEvents streams a device's drift feed as Server-Sent
+// Events over the same broker plumbing as the job feeds. Drift feeds
+// never terminate server-side (calibration keeps arriving); the stream
+// ends when the client goes away or the server drains.
+func (s *Server) handleDriftEvents(w http.ResponseWriter, r *http.Request) {
+	s.met.request("/v1/drift/{device}/events")
+	name := r.PathValue("device")
+	if !caldrift.ValidDeviceName(name) {
+		writeError(w, http.StatusBadRequest, "device name must match [a-zA-Z0-9][a-zA-Z0-9_-]{0,63}")
+		return
+	}
+	history, ch, cancel := s.drift.events.Subscribe(name)
+	defer cancel()
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	// Unlike a job feed, a drift feed may be empty at subscribe time:
+	// flush the headers now so the client sees the stream open instead
+	// of blocking until the first cycle arrives.
+	fl.Flush()
+	write := func(ev jobs.Event) {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+		fl.Flush()
+	}
+	for _, ev := range history {
+		write(ev)
+	}
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				return
+			}
+			write(ev)
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// renderDriftMetrics appends the drift plane's counters and per-device
+// scores to the /metrics exposition.
+func renderDriftMetrics(b *strings.Builder, m driftMetrics) {
+	b.WriteString("# HELP nisqd_drift_cycles_total Calibration cycles appended to the drift store.\n")
+	b.WriteString("# TYPE nisqd_drift_cycles_total counter\n")
+	fmt.Fprintf(b, "nisqd_drift_cycles_total %d\n", m.cycles)
+	b.WriteString("# HELP nisqd_drift_triggers_total Drift detections past threshold.\n")
+	b.WriteString("# TYPE nisqd_drift_triggers_total counter\n")
+	fmt.Fprintf(b, "nisqd_drift_triggers_total %d\n", m.triggers)
+	b.WriteString("# HELP nisqd_drift_canary_runs_total Canary recompilations executed.\n")
+	b.WriteString("# TYPE nisqd_drift_canary_runs_total counter\n")
+	fmt.Fprintf(b, "nisqd_drift_canary_runs_total %d\n", m.canaryRuns)
+	b.WriteString("# HELP nisqd_drift_canary_suppressed_total Canary runs skipped by the cooldown.\n")
+	b.WriteString("# TYPE nisqd_drift_canary_suppressed_total counter\n")
+	fmt.Fprintf(b, "nisqd_drift_canary_suppressed_total %d\n", m.suppressed)
+	b.WriteString("# HELP nisqd_drift_store_corrupt_total Cycle envelopes quarantined at startup.\n")
+	b.WriteString("# TYPE nisqd_drift_store_corrupt_total counter\n")
+	fmt.Fprintf(b, "nisqd_drift_store_corrupt_total %d\n", m.corrupt)
+	b.WriteString("# HELP nisqd_drift_score Latest drift score per device.\n")
+	b.WriteString("# TYPE nisqd_drift_score gauge\n")
+	devs := make([]string, 0, len(m.scores))
+	for d := range m.scores {
+		devs = append(devs, d)
+	}
+	sort.Strings(devs)
+	for _, d := range devs {
+		fmt.Fprintf(b, "nisqd_drift_score{device=%q} %g\n", d, m.scores[d])
+	}
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -344,6 +345,102 @@ func TestJobEventsSSE(t *testing.T) {
 	}
 	if events < 3 {
 		t.Errorf("stream carried %d events, want at least queued/started/succeeded", events)
+	}
+}
+
+// TestJobEventsSSEReconnect pins the reconnect contract of the event
+// stream: a client that drops its connection mid-stream — before the
+// job is anywhere near terminal — loses nothing, because a fresh
+// subscription replays the full history from seq 0. The close points
+// are table-driven: dropping after the headers, after the first event,
+// and after two events must all leave the feed replayable, and once the
+// job is terminal two full reads must return byte-identical streams.
+func TestJobEventsSSEReconnect(t *testing.T) {
+	cfg := jobsConfig()
+	cfg.Jobs.Workers = 1 // single worker → a slow head job keeps the probe queued
+	_, ts := newTestServerConfig(t, cfg)
+
+	cases := []struct {
+		name       string
+		readEvents int // data lines to read before dropping the connection
+	}{
+		{"close-after-headers", 0},
+		{"close-after-first-event", 1},
+		{"close-after-two-events", 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Head-of-line blocker: a Monte-Carlo compile large enough
+			// that the probe job stays queued while we drop the stream.
+			submitJob(t, ts.URL,
+				`{"kind":"compile","request":{"workload":"bv-8","policy":"vqm","trials":200000,"monte_carlo":true}}`)
+			v := submitJob(t, ts.URL, `{"kind":"compile","request":{"workload":"bv-4","policy":"vqm"}}`)
+
+			resp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/events")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				resp.Body.Close()
+				t.Fatalf("events status %d", resp.StatusCode)
+			}
+			br := bufio.NewReader(resp.Body)
+			var firstData string
+			for read := 0; read < tc.readEvents; {
+				line, err := br.ReadString('\n')
+				if err != nil {
+					t.Fatalf("stream ended after %d events, wanted %d: %v", read, tc.readEvents, err)
+				}
+				if strings.HasPrefix(line, "data: ") {
+					if firstData == "" {
+						firstData = strings.TrimRight(line, "\n")
+					}
+					read++
+				}
+			}
+			resp.Body.Close() // drop mid-stream; the job is still queued or running
+
+			// Reconnect: the replay must carry the complete lifecycle and
+			// strictly increasing seqs from the start, including any event
+			// the dropped connection already saw.
+			resp2, body := get(t, ts.URL+"/v1/jobs/"+v.ID+"/events")
+			if resp2.StatusCode != http.StatusOK {
+				t.Fatalf("reconnect status %d: %s", resp2.StatusCode, body)
+			}
+			stream := string(body)
+			for _, want := range []string{"event: queued", "event: started", "event: succeeded"} {
+				if !strings.Contains(stream, want) {
+					t.Fatalf("reconnected stream missing %q:\n%s", want, stream)
+				}
+			}
+			if firstData != "" && !strings.Contains(stream, firstData) {
+				t.Errorf("reconnected stream dropped the first event %q:\n%s", firstData, stream)
+			}
+			lastSeq := -1
+			for _, line := range strings.Split(stream, "\n") {
+				data, ok := strings.CutPrefix(line, "data: ")
+				if !ok {
+					continue
+				}
+				var ev jobs.Event
+				if err := json.Unmarshal([]byte(data), &ev); err != nil {
+					t.Fatalf("bad event payload %q: %v", data, err)
+				}
+				if ev.Seq <= lastSeq {
+					t.Errorf("event seq %d after %d; must strictly increase", ev.Seq, lastSeq)
+				}
+				lastSeq = ev.Seq
+			}
+
+			// Terminal streams are stable: a third read is byte-identical.
+			resp3, body2 := get(t, ts.URL+"/v1/jobs/"+v.ID+"/events")
+			if resp3.StatusCode != http.StatusOK {
+				t.Fatalf("re-read status %d", resp3.StatusCode)
+			}
+			if !bytes.Equal(body, body2) {
+				t.Errorf("terminal replay not byte-stable:\nfirst:\n%s\nsecond:\n%s", body, body2)
+			}
+		})
 	}
 }
 

@@ -12,12 +12,14 @@ import (
 	"net/http/pprof"
 	"regexp"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"vaq/internal/calib"
 	"vaq/internal/circuit"
+	"vaq/internal/clock"
 	"vaq/internal/device"
 	"vaq/internal/jobs"
 	"vaq/internal/parallel"
@@ -65,6 +67,26 @@ type Config struct {
 	// zero value runs it in-memory; set Jobs.Dir to make accepted jobs
 	// survive restarts.
 	Jobs jobs.Options
+	// DriftDir roots the calibration drift plane's durable cycle store
+	// ("" runs it in-memory; appended cycles then die with the
+	// process).
+	DriftDir string
+	// DriftThreshold is the device drift score past which the canary
+	// recompiler runs (default caldrift.DefaultThreshold).
+	DriftThreshold float64
+	// DriftWindow is how many recent cycles the detector folds per
+	// append (default 8).
+	DriftWindow int
+	// DriftHotCircuits bounds the per-device hot-circuit set the
+	// canary recompiles (default 8).
+	DriftHotCircuits int
+	// DriftCanaryCooldown is the minimum spacing between canary runs
+	// per device, measured on Clock (0 disables the cooldown).
+	DriftCanaryCooldown time.Duration
+	// Clock is the time source behind the drift plane's canary
+	// cooldown (default clock.Real). Drift reports themselves never
+	// read it — they are pure functions of the calibration data.
+	Clock clock.Clock
 }
 
 func (c Config) withDefaults() Config {
@@ -92,6 +114,12 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 30 * time.Second
 	}
+	if c.DriftWindow <= 0 {
+		c.DriftWindow = 8
+	}
+	if c.DriftHotCircuits <= 0 {
+		c.DriftHotCircuits = 8
+	}
 	return c
 }
 
@@ -107,6 +135,7 @@ type Server struct {
 	cache *lruCache
 	met   *metricsState
 	jobs  *jobs.Manager
+	drift *driftState
 
 	mu      sync.RWMutex
 	devices map[string]*device.Device
@@ -152,12 +181,24 @@ func New(cfg Config) (*Server, error) {
 	s.jobs = jm
 	jm.Start()
 
+	// The drift plane shares the job store's failure posture: an
+	// unusable cycle directory fails startup rather than silently
+	// dropping acknowledged calibration later.
+	ds, err := newDriftState(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.drift = ds
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/compile", s.limited("/v1/compile", s.handleCompile))
 	mux.HandleFunc("POST /v1/estimate", s.limited("/v1/estimate", s.handleEstimate))
 	mux.HandleFunc("POST /v1/batch", s.limited("/v1/batch", s.handleBatch))
 	mux.HandleFunc("POST /v1/portfolio", s.limited("/v1/portfolio", s.handlePortfolio))
 	mux.HandleFunc("POST /v1/calibration", s.limited("/v1/calibration", s.handleCalibration))
+	mux.HandleFunc("GET /v1/calibration/{device}", s.instrumented("/v1/calibration/{device}", s.handleCalibrationWindow))
+	mux.HandleFunc("GET /v1/drift/{device}", s.instrumented("/v1/drift/{device}", s.handleDriftReport))
+	mux.HandleFunc("GET /v1/drift/{device}/events", s.handleDriftEvents)
 	mux.HandleFunc("GET /v1/devices", s.instrumented("/v1/devices", s.handleDevices))
 	// The job plane rides outside the compute semaphore: submission is
 	// validation + enqueue (the pool bounds execution concurrency), and
@@ -468,6 +509,7 @@ func (s *Server) compileCached(ctx context.Context, endpoint string, req *Compil
 	key := CacheKey(endpoint, d.Fingerprint(), prog, spec)
 	if body, ok := s.cache.get(key); ok {
 		s.met.cache(true)
+		s.drift.touchHot(req.Device, key)
 		return body, true, nil
 	}
 	s.met.cache(false)
@@ -479,6 +521,10 @@ func (s *Server) compileCached(ctx context.Context, endpoint string, req *Compil
 		return nil, false, err
 	}
 	s.met.mc(res)
+	// Every served mapping is a canary candidate: if this device later
+	// drifts, the recompiler re-evaluates exactly what the cache would
+	// keep handing out.
+	s.drift.noteHot(req.Device, key, prog, res.PhysicalCircuit)
 	body, err := json.MarshalIndent(res, "", " ")
 	if err != nil {
 		return nil, false, err
@@ -675,6 +721,17 @@ func (s *Server) handleCalibration(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("calibration archive: %v", err))
 		return
 	}
+	if appendParam := r.URL.Query().Get("append"); appendParam != "" {
+		want, perr := strconv.ParseBool(appendParam)
+		if perr != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("append must be a boolean, got %q", appendParam))
+			return
+		}
+		if want {
+			s.handleCalibrationAppend(w, r, name, arch)
+			return
+		}
+	}
 	mean, err := arch.Mean()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("calibration archive: %v", err))
@@ -815,5 +872,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var b strings.Builder
 	b.WriteString(s.met.render())
 	renderJobsMetrics(&b, s.jobs.Metrics())
+	renderDriftMetrics(&b, s.drift.metrics())
 	io.WriteString(w, b.String())
 }

@@ -19,7 +19,7 @@ go test -race -count=1 -run 'TestSabreHeavyHex399|TestSabreConcurrentDeterminism
 # BenchmarkMonteCarloScalar the reference path) — so a change that breaks
 # a benchmark body (rather than its performance) fails the gate instead
 # of surfacing at the next scripts/bench.sh run.
-go test -run '^$' -bench 'MonteCarlo|CompilePipeline|Route|NewCosts|SearchSwaps|ServeCompile|Portfolio|JobThroughput' -benchtime=1x ./...
+go test -run '^$' -bench 'MonteCarlo|CompilePipeline|Route|NewCosts|SearchSwaps|ServeCompile|Portfolio|JobThroughput|DriftDetect|CanaryRecompile' -benchtime=1x ./...
 # Perf-regression gate: rebench against the newest committed snapshot and
 # fail on big ns/op regressions. Only the stable keys are compared — the
 # compute-bound kernels and routing cores whose timings are reproducible
@@ -46,10 +46,16 @@ go test -run '^$' -fuzz FuzzParse -fuzztime 10s ./internal/qasm
 go test -run '^$' -fuzz FuzzReadJSON -fuzztime 10s ./internal/calib
 go test -run '^$' -fuzz FuzzCompileRequest -fuzztime 10s ./internal/serve
 go test -run '^$' -fuzz FuzzPortfolioRequest -fuzztime 10s ./internal/serve
+go test -run '^$' -fuzz FuzzCycleAppend -fuzztime 10s ./internal/caldrift
+go test -run '^$' -fuzz FuzzDriftWindowQuery -fuzztime 10s ./internal/caldrift
 # Durability smoke: kill -9 a daemon mid-job and prove the restarted
 # daemon resumes it to a byte-identical result (real processes, real
 # SIGKILL — the one scenario in-process tests cannot stage).
 scripts/smoke_jobs.sh
+# Drift-plane smoke: register a device, append drifting calibration
+# cycles over real HTTP, and prove the detector triggers and the canary
+# recompiler reports a predicted-PST delta (see scripts/smoke_drift.sh).
+scripts/smoke_drift.sh
 # Coverage floor: total statement coverage must not regress below the
 # recorded baseline (88.6% at the floor's introduction, gated with a
 # small margin). Raise the floor when coverage improves; never lower it.
