@@ -7,6 +7,7 @@
 //	nisqc -workload bv-16 -policy vqa+vqm
 //	nisqc -qasm program.qasm -device q5 -policy baseline -verbose
 //	nisqc -workload qft-12 -portfolio 2
+//	nisqc -ansatz su2-6 -sweep points.json
 //
 // Workload names: alu, bv-N, qft-N, rnd-SD, rnd-LD, ghz-N, triswap.
 // Policies: native, baseline, vqm, vqm-hop, vqa+vqm; -movement overrides
@@ -24,18 +25,23 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"os"
 	"strings"
 	"text/tabwriter"
 	"time"
 
+	"vaq/internal/ansatz"
 	"vaq/internal/calib"
 	"vaq/internal/circuit"
 	"vaq/internal/cliutil"
+	"vaq/internal/core"
 	"vaq/internal/device"
+	"vaq/internal/param"
 	"vaq/internal/portfolio"
 	"vaq/internal/qasm"
 	"vaq/internal/route"
@@ -63,6 +69,8 @@ func main() {
 		optimize = flag.Bool("O", false, "run the transpile optimizer (inverse cancellation, rotation merging) before mapping")
 		timeline = flag.Bool("timeline", false, "print the ASAP schedule as an ASCII Gantt chart")
 		portfN   = flag.Int("portfolio", -1, "portfolio-compile over the N most recent calibration cycles plus the reference device (0: reference only, <0: off) and print the ranked candidates")
+		ansatzN  = flag.String("ansatz", "", "parametric ansatz name (su2-N, qaoa-N): compile the symbolic template once and print the rebindable mapping summary")
+		sweepP   = flag.String("sweep", "", "JSON file of parameter points ([[...],[...]]); rebind the compiled template per point and print the sweep table (requires -ansatz or a symbolic -qasm)")
 	)
 	flag.Parse()
 
@@ -85,6 +93,8 @@ func main() {
 	simWorkers = *workers
 	portfolioCycles = *portfN
 	movementPolicy = *movement
+	ansatzName = *ansatzN
+	sweepPath = *sweepP
 	if err := run(*workload, *qasmPath, *policyN, *deviceN, *calibP, *seed, *trials, *verbose, *outcomes, *optimize); err != nil {
 		fmt.Fprintln(os.Stderr, "nisqc:", err)
 		os.Exit(1)
@@ -98,7 +108,7 @@ func listDevices(w io.Writer) {
 	fmt.Fprintln(w, "  q20  IBM-Q20 (Tokyo) synthetic archive, 20 qubits")
 	fmt.Fprintln(w, "  q16  IBM-Q16 (Rüschlikon) synthetic archive, 16 qubits")
 	fmt.Fprintln(w, "  q5   IBM-Q5 (Tenerife) published snapshot, 5 qubits")
-	fmt.Fprintln(w, "\nsynthetic zoo families (name form <family>-<qubits>[-<tier>]):")
+	fmt.Fprintln(w, "\nsynthetic zoo families (name form <family>-<qubits>[-holes<k>][-<tier>]; -holes<k> knocks out k couplers deterministically):")
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "  family\tqubits\ttiers\tdescription")
 	tiers := make([]string, 0, 3)
@@ -110,11 +120,18 @@ func listDevices(w io.Writer) {
 			f.Name, f.MinQubits, f.MaxQubits, strings.Join(tiers, "/"), f.Description)
 	}
 	tw.Flush()
-	fmt.Fprintln(w, "\nexamples: -device heavy-hex-399, -device grid-100-high, -device ring-64-low")
+	fmt.Fprintln(w, "\nexamples: -device heavy-hex-399, -device grid-100-high, -device grid-25-holes3-mid")
 	fmt.Fprintln(w, "tip: pair large devices with -movement sabre (the A*-based policies are quadratic+)")
 }
 
 func run(workload, qasmPath, policyName, deviceName, calibPath string, seed int64, mcTrials int, verbose, outcomes, optimize bool) error {
+	if ansatzName != "" || sweepPath != "" {
+		d, _, err := loadDevice(deviceName, calibPath, seed)
+		if err != nil {
+			return err
+		}
+		return sweepAndReport(d, workload, qasmPath, policyName, seed, optimize)
+	}
 	prog, err := loadProgram(workload, qasmPath)
 	if err != nil {
 		return err
@@ -127,6 +144,118 @@ func run(workload, qasmPath, policyName, deviceName, calibPath string, seed int6
 		return portfolioAndReport(d, arch, prog, seed, mcTrials)
 	}
 	return compileAndReport(d, prog, policyName, seed, mcTrials, verbose, outcomes, optimize)
+}
+
+// loadTemplate resolves the parametric template: the named ansatz or a
+// symbolic QASM file.
+func loadTemplate(workload, qasmPath string) (*param.ParametricCircuit, string, error) {
+	switch {
+	case ansatzName != "" && (workload != "" || qasmPath != ""):
+		return nil, "", fmt.Errorf("-ansatz replaces -workload/-qasm; specify one template source")
+	case ansatzName != "":
+		pc, err := ansatz.ByName(ansatzName)
+		return pc, ansatzName, err
+	case qasmPath != "":
+		src, err := os.ReadFile(qasmPath)
+		if err != nil {
+			return nil, "", err
+		}
+		pc, err := qasm.ParseParametric(string(src))
+		return pc, qasmPath, err
+	default:
+		return nil, "", fmt.Errorf("-sweep needs a parametric template: -ansatz su2-N/qaoa-N or a symbolic -qasm file")
+	}
+}
+
+// loadPoints reads a sweep file: a JSON array of parameter vectors.
+func loadPoints(path string) ([][]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var points [][]float64
+	if err := json.Unmarshal(data, &points); err != nil {
+		return nil, fmt.Errorf("sweep file %s: want a JSON array of number arrays: %v", path, err)
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("sweep file %s has no points", path)
+	}
+	return points, nil
+}
+
+// sweepAndReport is the parametric pipeline: compile the symbolic
+// template once (allocation, routing and the success estimate are
+// angle-independent), then rebind per sweep point — no recompilation
+// anywhere in the loop.
+func sweepAndReport(d *device.Device, workload, qasmPath, policyName string, seed int64, optimize bool) error {
+	if optimize {
+		return fmt.Errorf("-O folds angles and cannot be combined with a parametric template")
+	}
+	pc, label, err := loadTemplate(workload, qasmPath)
+	if err != nil {
+		return err
+	}
+	policy, ok := core.PolicyByName(policyName)
+	if !ok {
+		return fmt.Errorf("unknown policy %q", policyName)
+	}
+	bound, err := core.CompileParametric(d, pc, core.Options{
+		Policy:   policy,
+		Seed:     seed,
+		Movement: movementPolicy,
+	})
+	if err != nil {
+		return err
+	}
+	stats := bound.Compiled.Routed.Physical.Stats()
+	syms := make([]string, len(bound.Symbols()))
+	for i, s := range bound.Symbols() {
+		syms[i] = string(s)
+	}
+	fmt.Printf("parametric  %s on %s (policy %s)\n", label, d.Topology().Name, policyName)
+	fmt.Printf("params      %d free symbols: %s\n", bound.NumParams(), strings.Join(syms, " "))
+	fmt.Printf("mapping     %d inst, %d CNOTs, depth %d (fixed across all bindings)\n",
+		stats.Total, stats.CNOTs, stats.Depth)
+	fmt.Printf("analytic PST %.4f (angle-independent: shared by every sweep point)\n", bound.ESP)
+	if sweepPath == "" {
+		return nil
+	}
+
+	points, err := loadPoints(sweepPath)
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "point\tvalues\tphysical fingerprint")
+	for i, vals := range points {
+		phys, err := bound.RebindValues(vals)
+		if err != nil {
+			return fmt.Errorf("point %d: %w", i, err)
+		}
+		h := fnv.New64a()
+		h.Write([]byte(qasm.Serialize(phys)))
+		fmt.Fprintf(tw, "%d\t%s\t%016x\n", i, formatPoint(vals), h.Sum64())
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("sweep       %d points, 1 compile, %d compiles saved\n", len(points), len(points)-1)
+	return nil
+}
+
+// formatPoint renders a parameter vector compactly (long vectors are
+// elided; the fingerprint identifies the full binding).
+func formatPoint(vals []float64) string {
+	const maxShown = 4
+	parts := make([]string, 0, maxShown+1)
+	for i, v := range vals {
+		if i == maxShown {
+			parts = append(parts, fmt.Sprintf("… +%d", len(vals)-maxShown))
+			break
+		}
+		parts = append(parts, fmt.Sprintf("%.3g", v))
+	}
+	return strings.Join(parts, " ")
 }
 
 // loadDevice resolves -device/-calib into the device model plus its
@@ -176,14 +305,17 @@ func loadDevice(deviceName, calibPath string, seed int64) (*device.Device, *cali
 	return device.MustNew(arch.Topo, arch.MustMean()), arch, nil
 }
 
-// timelineRequested, simWorkers, portfolioCycles, and movementPolicy
-// mirror the -timeline, -workers, -portfolio, and -movement flags (kept
-// package-level so the testable run() signature stays stable).
+// timelineRequested, simWorkers, portfolioCycles, movementPolicy,
+// ansatzName and sweepPath mirror the -timeline, -workers, -portfolio,
+// -movement, -ansatz and -sweep flags (kept package-level so the
+// testable run() signature stays stable).
 var (
 	timelineRequested bool
 	simWorkers        int
 	portfolioCycles   = -1
 	movementPolicy    string
+	ansatzName        string
+	sweepPath         string
 )
 
 // portfolioAndReport runs the speculative portfolio compiler and prints

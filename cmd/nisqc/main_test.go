@@ -118,3 +118,62 @@ func TestTimelineFlag(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSweepFlag(t *testing.T) {
+	dir := t.TempDir()
+	pts := filepath.Join(dir, "pts.json")
+	if err := os.WriteFile(pts, []byte("[[0.1,0.2],[0.3,0.4]]"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ansatzName, sweepPath = "qaoa-4", pts
+	defer func() { ansatzName, sweepPath = "", "" }()
+	if err := run("", "", "vqa+vqm", "q20", "", 1, 100, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+	// Template summary alone (no sweep file).
+	sweepPath = ""
+	if err := run("", "", "vqm", "q20", "", 1, 100, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+	// Symbolic QASM file as the template source.
+	ansatzName = ""
+	qasmFile := filepath.Join(dir, "vqa.qasm")
+	src := "qreg q[2]; creg c[2]; ry(theta) q[0]; cx q[0],q[1]; measure q[0] -> c[0];"
+	if err := os.WriteFile(qasmFile, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sweepPath = pts
+	// Arity mismatch: the template has 1 symbol, the points carry 2.
+	if err := run("", qasmFile, "vqm", "q20", "", 1, 100, false, false, false); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	one := filepath.Join(dir, "one.json")
+	os.WriteFile(one, []byte("[[0.25],[0.5]]"), 0o644)
+	sweepPath = one
+	if err := run("", qasmFile, "vqm", "q20", "", 1, 100, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepFlagErrors(t *testing.T) {
+	defer func() { ansatzName, sweepPath = "", "" }()
+	// -sweep with no template source.
+	ansatzName, sweepPath = "", "/nonexistent.json"
+	if err := run("", "", "vqm", "q20", "", 1, 100, false, false, false); err == nil {
+		t.Error("sweep without template accepted")
+	}
+	// -ansatz beside -workload.
+	ansatzName = "qaoa-4"
+	if err := run("bv-4", "", "vqm", "q20", "", 1, 100, false, false, false); err == nil {
+		t.Error("-ansatz plus -workload accepted")
+	}
+	// -O is incompatible with parametric compilation.
+	if err := run("", "", "vqm", "q20", "", 1, 100, false, false, true); err == nil {
+		t.Error("-O accepted with -ansatz")
+	}
+	// Unknown ansatz and bad sweep files fail cleanly.
+	ansatzName, sweepPath = "zap-9", ""
+	if err := run("", "", "vqm", "q20", "", 1, 100, false, false, false); err == nil {
+		t.Error("unknown ansatz accepted")
+	}
+}

@@ -71,6 +71,7 @@ func main() {
 		driftWin = flag.Int("drift-window", 0, "calibration cycles per drift-detection window (0: default 8)")
 		driftHot = flag.Int("drift-hot", 0, "hot compiled circuits tracked per device as canary targets (0: default 8)")
 		driftCD  = flag.Duration("drift-cooldown", 0, "minimum wall-clock spacing between canary recompiles per device (0: no cooldown)")
+		driftAd  = flag.Float64("drift-adopt", 0, "canary-predicted PST gain past which stale cached mappings are invalidated (0: default 0.01, <0: adoption off)")
 	)
 	flag.Parse()
 
@@ -117,6 +118,7 @@ func main() {
 		DriftWindow:         *driftWin,
 		DriftHotCircuits:    *driftHot,
 		DriftCanaryCooldown: *driftCD,
+		DriftAdoptDelta:     *driftAd,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nisqd:", err)

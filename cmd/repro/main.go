@@ -14,7 +14,7 @@
 //
 // Usage:
 //
-//	repro [-experiment all|fig5|fig6|fig7|fig8|fig9|table1|fig12|fig13|fig14|table2|table3|portfolio|fig16|scale|qvtime]
+//	repro [-experiment all|fig5|fig6|fig7|fig8|fig9|table1|fig12|fig13|fig14|table2|table3|portfolio|fig16|scale|qvtime|vqa]
 //	      [-seed N] [-trials N] [-full] [-workers N] [-format text|csv|json]
 //	      [-checkpoint dir] [-resume] [-timeout 10m] [-calib archive.json]
 //	      [-cpuprofile f.pprof] [-memprofile f.pprof]
@@ -44,7 +44,7 @@ import (
 
 func main() {
 	var (
-		which    = flag.String("experiment", "all", "experiment to run (all, fig5..fig16, table1..table3, ext-*, scale, qvtime)")
+		which    = flag.String("experiment", "all", "experiment to run (all, fig5..fig16, table1..table3, ext-*, scale, qvtime, vqa)")
 		seed     = flag.Int64("seed", 2019, "seed for the synthetic characterization archive")
 		trials   = flag.Int("trials", 200000, "Monte-Carlo trials per PST estimate")
 		full     = flag.Bool("full", false, "use the paper's budgets (1M trials, 32 native configs); an explicit -trials wins")
@@ -367,6 +367,13 @@ func experimentList() []experiment {
 				return rendering{}, err
 			}
 			return rendering{table: experiments.QVTimeTable(rows)}, nil
+		}},
+		{"vqa", func(r *experiments.Runner) (rendering, error) {
+			res, err := experiments.VQASweep(r.Config())
+			if err != nil {
+				return rendering{}, err
+			}
+			return rendering{table: experiments.VQATable(res)}, nil
 		}},
 	}
 }

@@ -1,0 +1,170 @@
+// Package ansatz generates the parametric circuit templates of
+// variational (VQA) workloads: deterministic, size-parameterized ansatz
+// families that play the role package workloads plays for fixed
+// benchmarks. Where workloads.ByName returns concrete circuits, ByName
+// here returns param.ParametricCircuit templates whose rotation angles
+// are free symbols — the inputs of the compile-once/rebind-many plane
+// (core.CompileParametric) and the sweep surfaces built on it.
+//
+// Two families cover the common VQA shapes:
+//
+//   - su2-N: an EfficientSU2-style hardware-efficient ansatz — RY+RZ
+//     rotation layers separated by linear-chain CX entanglers;
+//   - qaoa-N: a QAOA-style alternating ansatz on the N-qubit ring —
+//     per-layer shared cost angle γ (CX·RZ·CX on each ring edge) and
+//     mixer angle β (RX(2β) on every qubit).
+//
+// Generators are pure functions of (size, depth): no randomness, so a
+// name always denotes byte-for-byte the same template.
+package ansatz
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"vaq/internal/circuit"
+	"vaq/internal/param"
+)
+
+// DefaultReps is the rotation-layer repetition count of su2-N names.
+const DefaultReps = 2
+
+// DefaultLayers is the alternating-layer count of qaoa-N names.
+const DefaultLayers = 1
+
+// MaxNamedQubits caps the sizes ByName accepts, mirroring the guard in
+// workloads.ByName.
+const MaxNamedQubits = 4096
+
+// EfficientSU2 returns the hardware-efficient ansatz on n ≥ 2 qubits:
+// reps ≥ 1 blocks of [RY layer, RZ layer, linear CX entangler] followed
+// by a final RY+RZ rotation layer, then full measurement. Free symbols
+// are t0, t1, … in appearance order; the parameter count is
+// 2·n·(reps+1).
+func EfficientSU2(n, reps int) (*param.ParametricCircuit, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("ansatz: su2 needs ≥ 2 qubits, got %d", n)
+	}
+	if reps < 1 {
+		return nil, fmt.Errorf("ansatz: su2 needs ≥ 1 repetition, got %d", reps)
+	}
+	name := fmt.Sprintf("su2-%d", n)
+	if reps != DefaultReps {
+		name = fmt.Sprintf("su2-%d-r%d", n, reps)
+	}
+	c := circuit.New(name, n)
+	pc := param.New(c)
+	k := 0
+	next := func() param.Expr {
+		e := param.Sym(param.Symbol("t" + strconv.Itoa(k)))
+		k++
+		return e
+	}
+	rotations := func() {
+		for q := 0; q < n; q++ {
+			c.RY(0, q)
+			pc.SetParam(len(c.Gates)-1, next())
+		}
+		for q := 0; q < n; q++ {
+			c.RZ(0, q)
+			pc.SetParam(len(c.Gates)-1, next())
+		}
+	}
+	for r := 0; r < reps; r++ {
+		rotations()
+		for q := 0; q+1 < n; q++ {
+			c.CX(q, q+1)
+		}
+	}
+	rotations()
+	c.MeasureAll()
+	return pc, nil
+}
+
+// QAOA returns the alternating ansatz on the n ≥ 3 qubit ring with
+// layers ≥ 1 cost/mixer blocks after the initial H layer. Each layer l
+// contributes two shared symbols: the cost angle g<l> applied as
+// CX·RZ(γ)·CX across every ring edge, and the mixer angle b<l> applied
+// as RX(2β) on every qubit. The parameter count is 2·layers.
+func QAOA(n, layers int) (*param.ParametricCircuit, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("ansatz: qaoa needs ≥ 3 qubits (a ring), got %d", n)
+	}
+	if layers < 1 {
+		return nil, fmt.Errorf("ansatz: qaoa needs ≥ 1 layer, got %d", layers)
+	}
+	name := fmt.Sprintf("qaoa-%d", n)
+	if layers != DefaultLayers {
+		name = fmt.Sprintf("qaoa-%d-p%d", n, layers)
+	}
+	c := circuit.New(name, n)
+	pc := param.New(c)
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	for l := 0; l < layers; l++ {
+		gamma := param.Sym(param.Symbol("g" + strconv.Itoa(l)))
+		for q := 0; q < n; q++ {
+			a, b := q, (q+1)%n
+			c.CX(a, b)
+			c.RZ(0, b)
+			pc.SetParam(len(c.Gates)-1, gamma)
+			c.CX(a, b)
+		}
+		beta := param.Sym(param.Symbol("b" + strconv.Itoa(l)))
+		for q := 0; q < n; q++ {
+			c.RX(0, q)
+			pc.SetParam(len(c.Gates)-1, beta.Scale(2))
+		}
+	}
+	c.MeasureAll()
+	return pc, nil
+}
+
+// ByName resolves an ansatz name — "su2-N" (DefaultReps rotation
+// blocks) or "qaoa-N" (DefaultLayers alternating layers) — mirroring
+// workloads.ByName. Unknown names report the valid forms.
+func ByName(name string) (*param.ParametricCircuit, error) {
+	lower := strings.ToLower(strings.TrimSpace(name))
+	for _, f := range []struct {
+		prefix string
+		min    int
+		build  func(n int) (*param.ParametricCircuit, error)
+	}{
+		{"su2-", 2, func(n int) (*param.ParametricCircuit, error) { return EfficientSU2(n, DefaultReps) }},
+		{"qaoa-", 3, func(n int) (*param.ParametricCircuit, error) { return QAOA(n, DefaultLayers) }},
+	} {
+		if !strings.HasPrefix(lower, f.prefix) {
+			continue
+		}
+		n, err := strconv.Atoi(strings.TrimPrefix(lower, f.prefix))
+		if err != nil {
+			return nil, fmt.Errorf("ansatz: bad size in %q (want %s<qubits>)", name, f.prefix)
+		}
+		if n < f.min || n > MaxNamedQubits {
+			return nil, fmt.Errorf("ansatz: %s size %d out of range [%d, %d]", strings.TrimSuffix(f.prefix, "-"), n, f.min, MaxNamedQubits)
+		}
+		return f.build(n)
+	}
+	return nil, fmt.Errorf("ansatz: unknown ansatz %q (want one of: %s)", name, strings.Join(Names(), ", "))
+}
+
+// Names lists the recognized name forms in sorted order.
+func Names() []string {
+	names := []string{"qaoa-N", "su2-N"}
+	sort.Strings(names)
+	return names
+}
+
+// Params returns the parameter count of a named ansatz without keeping
+// the template: the introspection hook for listings and request
+// validation.
+func Params(name string) (int, error) {
+	pc, err := ByName(name)
+	if err != nil {
+		return 0, err
+	}
+	return pc.NumParams(), nil
+}

@@ -38,9 +38,9 @@ var zooGoldenFingerprints = map[string]uint64{
 	"heavy-hex-20-high":  0x89b35f6c939418d2,
 	"heavy-hex-20-low":   0x537c4459813e7531,
 	"heavy-hex-20-mid":   0x140b4283b3a5bfed,
-	"heavy-hex-399-high":  0x886c2bb9b2a03f34,
-	"heavy-hex-399-low":   0xc1eae00391610316,
-	"heavy-hex-399-mid":   0xf92bb11943083278,
+	"heavy-hex-399-high": 0x886c2bb9b2a03f34,
+	"heavy-hex-399-low":  0xc1eae00391610316,
+	"heavy-hex-399-mid":  0xf92bb11943083278,
 	"ring-16-high":       0x6f88f79cebcbe374,
 	"ring-16-low":        0x29ab40a4b0168f90,
 	"ring-16-mid":        0x182f2f9ccbdf81aa,
@@ -157,5 +157,43 @@ func TestParseTier(t *testing.T) {
 	}
 	if _, err := calib.ZooGenConfig("hexagon-20", 1); err == nil {
 		t.Error("calib.ZooGenConfig with unknown family: want error")
+	}
+}
+
+// zooHolesGoldenFingerprints pins defect-variant fleets (topologies
+// with deterministically knocked-out couplers) end to end through the
+// name→topology→archive chain at root seed 2019.
+var zooHolesGoldenFingerprints = map[string]uint64{
+	"grid-25-holes3-mid":       0x05abfa23a25f796d,
+	"ring-64-holes1-high":      0x9797d89631421cb0,
+	"heavy-hex-399-holes8-low": 0x03eb441315cd1f17,
+}
+
+// TestZooHolesFingerprintGoldens: the -holes defect suffix composes
+// with the tier suffix, the knockout is reproducible, and a holed
+// fleet's population differs from its intact base.
+func TestZooHolesFingerprintGoldens(t *testing.T) {
+	print := os.Getenv("GOLDEN_PRINT") == "1"
+	for name, want := range zooHolesGoldenFingerprints {
+		t.Run(name, func(t *testing.T) {
+			arch, err := calib.ZooArchive(name, 2019)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := arch.Validate(); err != nil {
+				t.Fatalf("fleet fails validation: %v", err)
+			}
+			got := device.MustNew(arch.Topo, arch.MustMean()).Fingerprint()
+			if print {
+				fmt.Printf("\t%q: %#016x,\n", name, got)
+				return
+			}
+			if got != want {
+				t.Fatalf("fingerprint %#016x, golden %#016x", got, want)
+			}
+		})
+	}
+	if _, err := calib.ZooArchive("ring-16-holes9-mid", 2019); err == nil {
+		t.Fatal("impossible knockout should fail archive generation")
 	}
 }

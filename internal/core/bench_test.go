@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+
+	"vaq/internal/ansatz"
+	"vaq/internal/calib"
+	"vaq/internal/device"
+)
+
+// BenchmarkRebindVsRecompile prices the compile-once/rebind-many
+// contract on the su2-8 ansatz over IBM-Q20: "recompile" is the naive
+// loop's per-point cost (full allocate+route+verify on a bound
+// circuit), "rebind" is the parametric plane's per-point cost
+// (clone-and-fill from one Bound), and "sweep1000" is a whole
+// 1000-point sweep through CompileParametric — one compile amortized
+// over 1000 rebinds. The acceptance bar, visible in the BENCH
+// snapshot, is the amortized per-point cost (sweep1000 ÷ 1000) coming
+// in ≥10× below recompile.
+func BenchmarkRebindVsRecompile(b *testing.B) {
+	arch := calib.Generate(calib.DefaultQ20Config(17))
+	d := device.MustNew(arch.Topo, arch.MustMean())
+	pc, err := ansatz.EfficientSU2(8, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := pc.NumParams()
+	point := func(i int) []float64 {
+		vals := make([]float64, n)
+		for j := range vals {
+			vals[j] = 0.1 + float64(i%7)*0.3 + float64(j)*0.01
+		}
+		return vals
+	}
+
+	b.Run("recompile", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			prog, err := pc.BindValues(point(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := Compile(d, prog, Options{Policy: VQAVQM, Seed: 17}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rebind", func(b *testing.B) {
+		bound, err := CompileParametric(d, pc, Options{Policy: VQAVQM, Seed: 17})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := bound.RebindValues(point(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sweep1000", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bound, err := CompileParametric(d, pc, Options{Policy: VQAVQM, Seed: 17})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for p := 0; p < 1000; p++ {
+				if _, err := bound.RebindValues(point(p)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

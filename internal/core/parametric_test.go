@@ -1,0 +1,164 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"vaq/internal/ansatz"
+	"vaq/internal/calib"
+	"vaq/internal/device"
+	"vaq/internal/gate"
+	"vaq/internal/param"
+	"vaq/internal/sim"
+)
+
+func parametricQ20(t *testing.T) *device.Device {
+	t.Helper()
+	arch := calib.Generate(calib.DefaultQ20Config(17))
+	return device.MustNew(arch.Topo, arch.MustMean())
+}
+
+func TestCompileParametricRebind(t *testing.T) {
+	d := parametricQ20(t)
+	pc, err := ansatz.EfficientSU2(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := CompileParametric(d, pc, Options{Policy: VQAVQM, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := bound.NumParams(), pc.NumParams(); got != want {
+		t.Fatalf("NumParams = %d, want %d", got, want)
+	}
+	if bound.ESP <= 0 || bound.ESP > 1 {
+		t.Fatalf("ESP = %v", bound.ESP)
+	}
+
+	vals := make([]float64, bound.NumParams())
+	for i := range vals {
+		vals[i] = 0.1 * float64(i+1)
+	}
+	phys, err := bound.RebindValues(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every rebound parameterized gate carries a real angle, never a
+	// sentinel placeholder.
+	bindings := 0
+	for i, g := range phys.Gates {
+		if !g.Kind.Parameterized() {
+			continue
+		}
+		if _, isSentinel := param.SentinelIndex(g.Param, bound.NumParams()+100); isSentinel {
+			t.Fatalf("gate %d still holds a sentinel: %v", i, g.Param)
+		}
+		bindings++
+	}
+	if want := 2 * 5 * 2; bindings != want {
+		t.Fatalf("%d parameterized physical gates, want %d", bindings, want)
+	}
+	// The template itself is untouched: a second rebind from the same
+	// handle sees fresh sentinels, not the previous binding.
+	phys2, err := bound.RebindValues(make([]float64, bound.NumParams()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawZero := false
+	for _, g := range phys2.Gates {
+		if g.Kind == gate.RY && g.Param == 0 {
+			sawZero = true
+		}
+	}
+	if !sawZero {
+		t.Fatal("second rebind did not apply the new values")
+	}
+}
+
+// TestAngleIndependence pins the invariant the whole plane rests on:
+// every binding of one mapping has identical analytic and Monte-Carlo
+// PST, equal to the estimate on the sentinel template itself.
+func TestAngleIndependence(t *testing.T) {
+	d := parametricQ20(t)
+	pc, err := ansatz.QAOA(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := CompileParametric(d, pc, Options{Policy: VQAVQM, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	template := bound.Compiled.Routed.Physical
+	base := sim.AnalyticPST(d, template, sim.Config{})
+	mcBase := sim.Prepare(d, template, sim.Config{Trials: 2000, Seed: 11}).Run(sim.Config{Trials: 2000, Seed: 11})
+	for _, scale := range []float64{0, 0.5, math.Pi} {
+		vals := make([]float64, bound.NumParams())
+		for i := range vals {
+			vals[i] = scale * float64(i+1)
+		}
+		phys, err := bound.RebindValues(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := sim.AnalyticPST(d, phys, sim.Config{}); got != base {
+			t.Fatalf("analytic PST depends on angles: %v != %v at scale %v", got, base, scale)
+		}
+		mc := sim.Prepare(d, phys, sim.Config{Trials: 2000, Seed: 11}).Run(sim.Config{Trials: 2000, Seed: 11})
+		if mc.PST != mcBase.PST {
+			t.Fatalf("MC PST depends on angles: %v != %v at scale %v", mc.PST, mcBase.PST, scale)
+		}
+	}
+	if bound.ESP <= 0 {
+		t.Fatalf("ESP = %v", bound.ESP)
+	}
+}
+
+func TestCompileParametricRejectsOptimizer(t *testing.T) {
+	d := parametricQ20(t)
+	pc, err := ansatz.EfficientSU2(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompileParametric(d, pc, Options{Policy: VQAVQM, Optimize: true}); err == nil {
+		t.Fatal("Optimize=true accepted for a parametric compile")
+	}
+}
+
+func TestCompileParametricVerifies(t *testing.T) {
+	d := parametricQ20(t)
+	pc, err := ansatz.EfficientSU2(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, policy := range []Policy{Native, Baseline, VQM, VQAVQM} {
+		bound, err := CompileParametric(d, pc, Options{Policy: policy, Seed: 3})
+		if err != nil {
+			t.Fatalf("%v: %v", policy, err)
+		}
+		// The sentinel-bound compile passes the standard route verifier.
+		if err := bound.Compiled.Verify(d); err != nil {
+			t.Fatalf("%v: verify: %v", policy, err)
+		}
+	}
+}
+
+func TestRebindUnbound(t *testing.T) {
+	d := parametricQ20(t)
+	pc, err := ansatz.QAOA(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := CompileParametric(d, pc, Options{Policy: Baseline, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = bound.Rebind(map[param.Symbol]float64{"g0": 0.5})
+	var ub *param.UnboundError
+	if !errors.As(err, &ub) {
+		t.Fatalf("want *param.UnboundError, got %v", err)
+	}
+	if _, err := bound.RebindValues([]float64{1}); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestVQASweep checks the compile-once invariants, the headline
+// comparison (the variation-aware mapping keeps more PST and descends
+// at least as deep), and determinism across worker counts.
+func TestVQASweep(t *testing.T) {
+	cfg := Config{Seed: 2019, Trials: 100}
+	res, err := VQASweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := vqaIters + 1; len(res.Rows) != want {
+		t.Fatalf("%d rows, want %d", len(res.Rows), want)
+	}
+	if want := 3*vqaIters + 1; res.Evals != want {
+		t.Fatalf("evals %d, want %d", res.Evals, want)
+	}
+	if res.AwarePST <= 0 || res.AwarePST > 1 || res.NaivePST <= 0 || res.NaivePST > 1 {
+		t.Fatalf("PSTs out of range: aware %v naive %v", res.AwarePST, res.NaivePST)
+	}
+
+	// Acceptance: the aware mapping's sweep-constant PST dominates the
+	// naive one, and its optimizer reaches at least as low an energy.
+	if res.AwarePST < res.NaivePST {
+		t.Errorf("aware PST %.4f < naive PST %.4f", res.AwarePST, res.NaivePST)
+	}
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if first.AwareIdeal != first.NaiveIdeal {
+		t.Errorf("tracks must share the starting point: aware %v naive %v", first.AwareIdeal, first.NaiveIdeal)
+	}
+	if last.AwareIdeal >= first.AwareIdeal {
+		t.Errorf("aware track never descended: start %v end %v", first.AwareIdeal, last.AwareIdeal)
+	}
+	if last.AwareIdeal > last.NaiveIdeal {
+		t.Errorf("aware track ended above naive: aware %v naive %v", last.AwareIdeal, last.NaiveIdeal)
+	}
+	for _, r := range res.Rows {
+		// Noisy = pst·ideal, with the per-track PST constant everywhere.
+		if got := res.AwarePST * r.AwareIdeal; !close3(got, r.AwareNoisy) {
+			t.Errorf("iter %d: aware noisy %v != pst*ideal %v", r.Iter, r.AwareNoisy, got)
+		}
+		if got := res.NaivePST * r.NaiveIdeal; !close3(got, r.NaiveNoisy) {
+			t.Errorf("iter %d: naive noisy %v != pst*ideal %v", r.Iter, r.NaiveNoisy, got)
+		}
+	}
+
+	for _, workers := range []int{-1, 1, 2} {
+		wcfg := cfg
+		wcfg.Workers = workers
+		again, err := VQASweep(wcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.AwarePST != res.AwarePST || again.NaivePST != res.NaivePST {
+			t.Fatalf("PSTs differ at workers=%d", workers)
+		}
+		for i := range res.Rows {
+			if res.Rows[i] != again.Rows[i] {
+				t.Fatalf("row %d differs at workers=%d:\nbase %+v\ngot  %+v", i, workers, res.Rows[i], again.Rows[i])
+			}
+		}
+	}
+}
+
+func close3(a, b float64) bool {
+	d := a - b
+	return d < 1e-12 && d > -1e-12
+}
+
+// TestVQAGolden pins the rendered table byte-for-byte; refresh with
+// `go test ./internal/experiments -run VQAGolden -update`.
+func TestVQAGolden(t *testing.T) {
+	res, err := VQASweep(Config{Seed: 2019, Trials: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := []byte(VQATable(res).String())
+	path := filepath.Join("testdata", "golden", "vqa.txt")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (rerun with -update): %v", path, err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("vqa table drifted from golden %s (rerun with -update if intended)\ngot:\n%s\nwant:\n%s", path, got, want)
+	}
+}

@@ -46,10 +46,13 @@ const (
 	KindEstimate  Kind = "estimate"
 	KindBatch     Kind = "batch"
 	KindPortfolio Kind = "portfolio"
+	KindSweep     Kind = "sweep"
 )
 
 // Kinds lists the accepted job kinds, for validation messages.
-func Kinds() []Kind { return []Kind{KindCompile, KindEstimate, KindBatch, KindPortfolio} }
+func Kinds() []Kind {
+	return []Kind{KindCompile, KindEstimate, KindBatch, KindPortfolio, KindSweep}
+}
 
 // ValidKind reports whether k names a known job kind.
 func ValidKind(k Kind) bool {

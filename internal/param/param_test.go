@@ -1,0 +1,179 @@
+package param
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"vaq/internal/circuit"
+	"vaq/internal/gate"
+)
+
+func TestExprArithmetic(t *testing.T) {
+	e := Sym("theta").Scale(2).Add(Const(0.5)) // 2θ + 0.5
+	if e.IsConst() {
+		t.Fatal("2θ+0.5 reported constant")
+	}
+	v, err := e.Eval(map[Symbol]float64{"theta": 1.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 3.0 {
+		t.Fatalf("Eval = %v, want 3", v)
+	}
+	if got := e.String(); got != "2*theta+0.5" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestExprCanonicalization(t *testing.T) {
+	// θ + θ − 2θ collapses to the pure constant.
+	e := Sym("theta").Add(Sym("theta")).Add(Sym("theta").Scale(-2)).Add(Const(1))
+	if !e.IsConst() || e.Const != 1 {
+		t.Fatalf("cancelled expression not constant: %+v", e)
+	}
+	// b + a sorts to a + b, so structural equality is semantic equality.
+	ab := Sym("b").Add(Sym("a"))
+	ba := Sym("a").Add(Sym("b"))
+	if ab.Terms[0] != ba.Terms[0] || ab.Terms[1] != ba.Terms[1] {
+		t.Fatalf("canonical order differs: %+v vs %+v", ab, ba)
+	}
+	if got := ab.String(); got != "a+b" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestEvalUnboundTyped(t *testing.T) {
+	e := Sym("a").Add(Sym("b"))
+	_, err := e.Eval(map[Symbol]float64{"a": 1})
+	var ub *UnboundError
+	if !errors.As(err, &ub) {
+		t.Fatalf("want *UnboundError, got %v", err)
+	}
+	if len(ub.Missing) != 1 || ub.Missing[0] != "b" {
+		t.Fatalf("Missing = %v", ub.Missing)
+	}
+}
+
+func twoSlot(t *testing.T) *ParametricCircuit {
+	t.Helper()
+	c := circuit.New("pc", 2)
+	c.H(0)
+	c.RZ(0, 0) // slot 0
+	c.CX(0, 1)
+	c.RY(0, 1) // slot 1
+	pc := New(c)
+	pc.SetParam(1, Sym("theta10")) // appearance order beats lexicographic
+	pc.SetParam(3, Sym("theta2").Scale(0.5))
+	return pc
+}
+
+func TestFreeSymbolsAppearanceOrder(t *testing.T) {
+	pc := twoSlot(t)
+	got := pc.FreeSymbols()
+	if len(got) != 2 || got[0] != "theta10" || got[1] != "theta2" {
+		t.Fatalf("FreeSymbols = %v, want [theta10 theta2]", got)
+	}
+	if pc.NumParams() != 2 {
+		t.Fatalf("NumParams = %d", pc.NumParams())
+	}
+}
+
+func TestBindFullAndPartial(t *testing.T) {
+	pc := twoSlot(t)
+	bound, err := pc.Bind(map[Symbol]float64{"theta10": math.Pi, "theta2": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound.Gates[1].Param != math.Pi || bound.Gates[3].Param != 0.5 {
+		t.Fatalf("bound params: %v, %v", bound.Gates[1].Param, bound.Gates[3].Param)
+	}
+	// The template stays untouched.
+	if pc.Circ.Gates[1].Param != 0 {
+		t.Fatal("Bind mutated the template")
+	}
+
+	_, err = pc.Bind(map[Symbol]float64{"theta10": 1})
+	var ub *UnboundError
+	if !errors.As(err, &ub) {
+		t.Fatalf("partial bind: want *UnboundError, got %v", err)
+	}
+	if _, err := pc.Bind(map[Symbol]float64{"theta10": 1, "theta2": 2, "typo": 3}); err == nil {
+		t.Fatal("bind of unknown symbol succeeded")
+	}
+}
+
+func TestBindValuesPositional(t *testing.T) {
+	pc := twoSlot(t)
+	bound, err := pc.BindValues([]float64{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound.Gates[1].Param != 2 || bound.Gates[3].Param != 2 {
+		t.Fatalf("positional bind: %v, %v", bound.Gates[1].Param, bound.Gates[3].Param)
+	}
+	if _, err := pc.BindValues([]float64{1}); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+func TestSetParamConstBakes(t *testing.T) {
+	c := circuit.New("k", 1)
+	c.RZ(0, 0)
+	pc := New(c)
+	pc.SetParam(0, Sym("x"))
+	pc.SetParam(0, Const(0.75)) // re-assign to a constant: slot disappears
+	if len(pc.Exprs) != 0 || pc.Circ.Gates[0].Param != 0.75 {
+		t.Fatalf("constant not baked: %+v param %v", pc.Exprs, pc.Circ.Gates[0].Param)
+	}
+}
+
+func TestSentinelRoundTrip(t *testing.T) {
+	for k := 0; k < 100; k++ {
+		s := Sentinel(k)
+		if math.IsNaN(s) || math.IsInf(s, 0) || s == 0 {
+			t.Fatalf("sentinel %d not a usable finite float: %v", k, s)
+		}
+		got, ok := SentinelIndex(s, 100)
+		if !ok || got != k {
+			t.Fatalf("SentinelIndex(Sentinel(%d)) = %d, %v", k, got, ok)
+		}
+	}
+	if _, ok := SentinelIndex(0, 100); ok {
+		t.Fatal("zero decoded as a sentinel")
+	}
+	if _, ok := SentinelIndex(math.Pi, 100); ok {
+		t.Fatal("π decoded as a sentinel")
+	}
+	if _, ok := SentinelIndex(Sentinel(100), 100); ok {
+		t.Fatal("out-of-range sentinel decoded")
+	}
+}
+
+func TestSentinelBind(t *testing.T) {
+	pc := twoSlot(t)
+	sent, exprs, err := pc.SentinelBind()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exprs) != 2 {
+		t.Fatalf("%d exprs", len(exprs))
+	}
+	if sent.Gates[1].Param != Sentinel(0) || sent.Gates[3].Param != Sentinel(1) {
+		t.Fatalf("sentinels misplaced: %v, %v", sent.Gates[1].Param, sent.Gates[3].Param)
+	}
+	if exprs[0].String() != "theta10" || exprs[1].String() != "0.5*theta2" {
+		t.Fatalf("expr order: %v, %v", exprs[0], exprs[1])
+	}
+
+	// A concrete parameterized gate sitting inside the sentinel range is
+	// rejected rather than silently mis-decoded.
+	c := circuit.New("clash", 1)
+	c.Append(circuit.Gate{Kind: gate.RZ, Qubits: []int{0}, Param: Sentinel(0), CBit: -1})
+	c.RZ(0, 0)
+	bad := New(c)
+	bad.SetParam(1, Sym("x"))
+	if _, _, err := bad.SentinelBind(); err == nil {
+		t.Fatal("sentinel collision accepted")
+	}
+}

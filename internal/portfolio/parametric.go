@@ -1,0 +1,47 @@
+// Parametric portfolio ranking: run the candidate grid once on a
+// symbolic template, reuse the winner across an entire parameter sweep.
+//
+// Because the error model is angle-independent (see core's parametric
+// plane), a candidate's analytic and Monte-Carlo rank is a property of
+// its mapping alone — the ranking computed on the sentinel-bound
+// template is exact for every binding. A sweep therefore pays for
+// portfolio ranking once and rebinds the winning mapping per parameter
+// set.
+package portfolio
+
+import (
+	"context"
+	"fmt"
+
+	"vaq/internal/calib"
+	"vaq/internal/core"
+	"vaq/internal/device"
+	"vaq/internal/param"
+)
+
+// RunParametric ranks the candidate grid on the sentinel-bound template
+// and returns the ranked result together with a rebindable handle for
+// the winning candidate. The transpile.Optimize grid points are
+// excluded (spec.NoOptimize is forced): the optimizer's angle
+// arithmetic would corrupt the placeholder slots.
+func RunParametric(ctx context.Context, d *device.Device, arch *calib.Archive, pc *param.ParametricCircuit, spec Spec) (*Result, *core.Bound, error) {
+	spec = spec.withDefaults()
+	spec.NoOptimize = true
+	sent, exprs, err := pc.SentinelBind()
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := Run(ctx, d, arch, sent, spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	best := res.Best()
+	if best == nil || best.Compiled == nil {
+		return nil, nil, fmt.Errorf("portfolio: parametric run produced no rebindable winner")
+	}
+	bound, err := core.NewBound(d, exprs, best.Compiled)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, bound, nil
+}

@@ -1,0 +1,82 @@
+package portfolio
+
+import (
+	"context"
+	"testing"
+
+	"vaq/internal/ansatz"
+	"vaq/internal/sim"
+)
+
+func TestRunParametricRanksOnce(t *testing.T) {
+	d, arch := testFixture(t)
+	pc, err := ansatz.EfficientSU2(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, bound, err := RunParametric(context.Background(), d, arch, pc, testSpec(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) == 0 {
+		t.Fatal("no candidates")
+	}
+	// The optimizer grid points are excluded: sentinel slots survive in
+	// every candidate, so the grid size halves.
+	for _, c := range res.Candidates {
+		if c.Optimize {
+			t.Fatalf("optimize candidate %s in a parametric run", c.Label())
+		}
+	}
+	if want := GridSize(Spec{Cycles: 1, RandomStarts: 1, NoOptimize: true}, len(arch.Snapshots)); len(res.Candidates)+len(res.Failures) != want {
+		t.Fatalf("grid size %d+%d, want %d", len(res.Candidates), len(res.Failures), want)
+	}
+
+	if bound.NumParams() != pc.NumParams() {
+		t.Fatalf("bound params %d, want %d", bound.NumParams(), pc.NumParams())
+	}
+	// Rebinding the winner yields the winning mapping's PST for any
+	// binding — the ranking is sweep-invariant.
+	vals := make([]float64, bound.NumParams())
+	for i := range vals {
+		vals[i] = 0.2 * float64(i)
+	}
+	phys, err := bound.RebindValues(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sim.AnalyticPST(d, phys, sim.Config{}), res.Best().AnalyticPST; got != want {
+		t.Fatalf("rebound PST %v != winner's ranked PST %v", got, want)
+	}
+}
+
+func TestRunParametricDeterministicAcrossWorkers(t *testing.T) {
+	d, arch := testFixture(t)
+	pc, err := ansatz.QAOA(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _, err := RunParametric(context.Background(), d, arch, pc, testSpec(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.ClearTimings()
+	for _, workers := range []int{1, 4} {
+		res, _, err := RunParametric(context.Background(), d, arch, pc, testSpec(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.ClearTimings()
+		if len(res.Candidates) != len(base.Candidates) {
+			t.Fatalf("workers=%d: candidate count differs", workers)
+		}
+		for i := range base.Candidates {
+			a, b := base.Candidates[i], res.Candidates[i]
+			if a.CandidateSpec != b.CandidateSpec || a.AnalyticPST != b.AnalyticPST ||
+				(a.MCResult == nil) != (b.MCResult == nil) ||
+				(a.MCResult != nil && *a.MCResult != *b.MCResult) {
+				t.Fatalf("workers=%d: candidate %d differs:\n%+v\n%+v", workers, i, a, b)
+			}
+		}
+	}
+}

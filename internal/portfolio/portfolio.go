@@ -97,6 +97,11 @@ type Spec struct {
 	// ("" means the simulator default, the packed kernel; see
 	// sim.Config.Kernel).
 	Kernel string
+	// NoOptimize drops the transpile.Optimize candidates from the grid.
+	// Parametric (sentinel-carrying) templates require it: the optimizer
+	// does angle arithmetic — rotation merging, zero-angle elimination —
+	// that would corrupt placeholder slots (see RunParametric).
+	NoOptimize bool
 
 	// normalized marks a spec that already passed through withDefaults.
 	// The zero-vs-negative sentinels are only meaningful on raw input:
@@ -203,12 +208,16 @@ func Grid(spec Spec, arch *calib.Archive) []CandidateSpec {
 		allocs = append(allocs, allocPoint{AllocRandom, s})
 	}
 	movers := gridMovers()
+	optPoints := []bool{false, true}
+	if spec.NoOptimize {
+		optPoints = []bool{false}
+	}
 
 	var grid []CandidateSpec
 	for _, cyc := range cycles {
 		for _, al := range allocs {
 			for _, mv := range movers {
-				for _, opt := range []bool{false, true} {
+				for _, opt := range optPoints {
 					id := len(grid)
 					grid = append(grid, CandidateSpec{
 						ID:       id,
@@ -234,7 +243,11 @@ func GridSize(spec Spec, availableCycles int) int {
 	if k > availableCycles {
 		k = availableCycles
 	}
-	return (1 + k) * (2 + spec.RandomStarts) * len(gridMovers()) * 2
+	opts := 2
+	if spec.NoOptimize {
+		opts = 1
+	}
+	return (1 + k) * (2 + spec.RandomStarts) * len(gridMovers()) * opts
 }
 
 // Seed-stream salts keeping compilation and Monte-Carlo refinement on

@@ -5,6 +5,8 @@ import (
 	"strconv"
 	"strings"
 	"unicode"
+
+	"vaq/internal/param"
 )
 
 // macroDef is a user gate definition:
@@ -158,8 +160,10 @@ func validIdent(s string) bool {
 }
 
 // expand substitutes actual arguments into the macro body and returns the
-// expanded statements. Actual parameters arrive already evaluated.
-func (m *macroDef) expand(params []float64, operands []string, line int) ([]string, error) {
+// expanded statements. Actual parameters arrive already evaluated to
+// their affine forms; symbolic ones substitute as re-parseable c*θ+k
+// renderings, so a macro applied with a free symbol stays symbolic.
+func (m *macroDef) expand(params []param.Expr, operands []string, line int) ([]string, error) {
 	if len(params) != len(m.params) {
 		return nil, &ParseError{Line: line, Msg: fmt.Sprintf("%s expects %d parameters, got %d", m.name, len(m.params), len(params))}
 	}
@@ -167,8 +171,12 @@ func (m *macroDef) expand(params []float64, operands []string, line int) ([]stri
 		return nil, &ParseError{Line: line, Msg: fmt.Sprintf("%s expects %d qubit operands, got %d", m.name, len(m.qubits), len(operands))}
 	}
 	subst := map[string]string{}
-	for i, p := range m.params {
-		subst[p] = "(" + strconv.FormatFloat(params[i], 'g', 17, 64) + ")"
+	for i, formal := range m.params {
+		if v := params[i]; v.IsConst() {
+			subst[formal] = "(" + strconv.FormatFloat(v.Const, 'g', 17, 64) + ")"
+		} else {
+			subst[formal] = "(" + v.String() + ")"
+		}
 	}
 	for i, q := range m.qubits {
 		subst[q] = operands[i]

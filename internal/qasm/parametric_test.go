@@ -1,0 +1,187 @@
+package qasm
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"vaq/internal/gate"
+	"vaq/internal/param"
+)
+
+const vqaSrc = `OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+rz(theta) q[0];
+u3(2*a, b, 0.5) q[1];
+cx q[0],q[1];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+`
+
+func TestParseParametric(t *testing.T) {
+	pc, err := ParseParametric(vqaSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free := pc.FreeSymbols()
+	want := []param.Symbol{"theta", "a", "b"}
+	if len(free) != len(want) {
+		t.Fatalf("FreeSymbols = %v, want %v", free, want)
+	}
+	for i := range want {
+		if free[i] != want[i] {
+			t.Fatalf("FreeSymbols = %v, want %v", free, want)
+		}
+	}
+	// rz(theta) is slot 0; the folded u3 sums to 2a + b + 0.5.
+	if got := pc.Exprs[0].String(); got != "theta" {
+		t.Fatalf("slot 0 expr = %q", got)
+	}
+	if got := pc.Exprs[1].String(); got != "2*a+b+0.5" {
+		t.Fatalf("slot 1 expr = %q", got)
+	}
+
+	bound, err := pc.Bind(map[param.Symbol]float64{"theta": math.Pi, "a": 0.25, "b": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound.Gates[0].Param != math.Pi {
+		t.Fatalf("rz param = %v", bound.Gates[0].Param)
+	}
+	if got := bound.Gates[1].Param; got != 2 {
+		t.Fatalf("u3 folded param = %v, want 2", got)
+	}
+}
+
+func TestParseParametricNumericProgram(t *testing.T) {
+	pc, err := ParseParametric("qreg q[1];\nrz(pi/2) q[0];\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := pc.NumParams(); n != 0 {
+		t.Fatalf("numeric program has %d free params", n)
+	}
+	if pc.Circ.Gates[0].Param != math.Pi/2 {
+		t.Fatalf("constant angle lost: %v", pc.Circ.Gates[0].Param)
+	}
+}
+
+func TestParseUnboundSymbolTyped(t *testing.T) {
+	_, err := Parse(vqaSrc)
+	var ub *UnboundSymbolError
+	if !errors.As(err, &ub) {
+		t.Fatalf("want *UnboundSymbolError, got %T: %v", err, err)
+	}
+	if len(ub.Symbols) != 3 {
+		t.Fatalf("Symbols = %v", ub.Symbols)
+	}
+}
+
+func TestParameterDeclarations(t *testing.T) {
+	// Declared symbols work; undeclared ones become errors once any
+	// declaration appears.
+	src := "parameter theta;\nqreg q[1];\nrz(theta) q[0];\n"
+	pc, err := ParseParametric(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pc.FreeSymbols(); len(got) != 1 || got[0] != "theta" {
+		t.Fatalf("FreeSymbols = %v", got)
+	}
+
+	_, err = ParseParametric("parameter theta;\nqreg q[1];\nrz(phi) q[0];\n")
+	if err == nil || !strings.Contains(err.Error(), "undeclared parameter") {
+		t.Fatalf("undeclared use: %v", err)
+	}
+
+	_, err = ParseParametric("parameter theta;\nparameter theta;\nqreg q[1];\n")
+	if err == nil || !strings.Contains(err.Error(), "declared twice") {
+		t.Fatalf("duplicate declaration: %v", err)
+	}
+
+	_, err = ParseParametric("parameter Theta9!;\nqreg q[1];\n")
+	if err == nil || !strings.Contains(err.Error(), "bad parameter name") {
+		t.Fatalf("bad name: %v", err)
+	}
+}
+
+func TestSymbolicExpressionLimits(t *testing.T) {
+	cases := []struct {
+		src, wantSub string
+	}{
+		{"qreg q[1]; rz(a*b) q[0];", "nonlinear"},
+		{"qreg q[1]; rz(1/a) q[0];", "division by a symbolic"},
+		{"qreg q[1]; rz(a/0) q[0];", "division by zero"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseParametric(tc.src); err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("ParseParametric(%q) err = %v, want %q", tc.src, err, tc.wantSub)
+		}
+	}
+	// Affine arithmetic stays legal: -(theta/2)*3 + pi - theta.
+	pc, err := ParseParametric("qreg q[1]; rz(-(theta/2)*3 + pi - theta) q[0];")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := pc.Exprs[0].Eval(map[param.Symbol]float64{"theta": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := -2.5*2 + math.Pi; math.Abs(v-want) > 1e-12 {
+		t.Fatalf("affine eval = %v, want %v", v, want)
+	}
+}
+
+func TestMacroWithSymbolicArgument(t *testing.T) {
+	src := `qreg q[2];
+gate wiggle(t) a, b { rz(2*t) a; rx(t) b; cx a,b; }
+wiggle(theta) q[0], q[1];
+wiggle(pi) q[1], q[0];
+`
+	pc, err := ParseParametric(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pc.FreeSymbols(); len(got) != 1 || got[0] != "theta" {
+		t.Fatalf("FreeSymbols = %v", got)
+	}
+	if got := pc.Exprs[0].String(); got != "2*theta" {
+		t.Fatalf("expanded slot 0 = %q", got)
+	}
+	if got := pc.Exprs[1].String(); got != "theta" {
+		t.Fatalf("expanded slot 1 = %q", got)
+	}
+	// The numeric application stays fully bound.
+	if len(pc.Exprs) != 2 {
+		t.Fatalf("%d symbolic slots, want 2 (numeric macro application leaked)", len(pc.Exprs))
+	}
+	if g := pc.Circ.Gates[3]; g.Kind != gate.RZ || math.Abs(g.Param-2*math.Pi) > 1e-12 {
+		t.Fatalf("numeric expansion gate = %+v", g)
+	}
+}
+
+func TestParametricBindRoundTripsThroughSerialize(t *testing.T) {
+	pc, err := ParseParametric(vqaSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := pc.BindValues([]float64{0.1, 0.2, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Parse(Serialize(bound))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Gates) != len(bound.Gates) {
+		t.Fatalf("round trip changed gate count %d -> %d", len(bound.Gates), len(again.Gates))
+	}
+	for i := range bound.Gates {
+		if again.Gates[i].Param != bound.Gates[i].Param {
+			t.Fatalf("gate %d param %v -> %v", i, bound.Gates[i].Param, again.Gates[i].Param)
+		}
+	}
+}

@@ -4,6 +4,15 @@
 // header, measurement, and barriers. Parameter expressions support numeric
 // literals, pi, unary minus, and the binary operators + - * /, which covers
 // every benchmark in the literature this repository reproduces.
+//
+// Beyond the OpenQASM 2.0 numeric forms, parameter expressions may use
+// free identifiers as symbolic parameters — rz(theta), u3(2*a, b, 0.5) —
+// restricted to affine combinations c*θ + k (package param). ParseParametric
+// returns the resulting template; plain Parse reports any leftover free
+// symbol as a typed *UnboundSymbolError. An optional dialect statement
+// `parameter theta;` declares symbols up front; once any declaration
+// appears, undeclared identifiers in later expressions become errors, and
+// duplicate declarations are rejected.
 package qasm
 
 import (
@@ -14,6 +23,7 @@ import (
 
 	"vaq/internal/circuit"
 	"vaq/internal/gate"
+	"vaq/internal/param"
 )
 
 // ParseError describes a syntax or semantic error with its line number.
@@ -24,17 +34,57 @@ type ParseError struct {
 
 func (e *ParseError) Error() string { return fmt.Sprintf("qasm: line %d: %s", e.Line, e.Msg) }
 
+// UnboundSymbolError reports a program that parsed cleanly but still has
+// free symbolic parameters, which Parse cannot turn into a concrete
+// circuit. Callers wanting the symbolic form use ParseParametric.
+type UnboundSymbolError struct {
+	Symbols []param.Symbol
+}
+
+func (e *UnboundSymbolError) Error() string {
+	names := make([]string, len(e.Symbols))
+	for i, s := range e.Symbols {
+		names[i] = string(s)
+	}
+	return fmt.Sprintf("qasm: program has unbound symbolic parameters (%s); bind them or use ParseParametric",
+		strings.Join(names, ", "))
+}
+
 // Parse converts OpenQASM 2.0 source into a Circuit. The program must
 // declare exactly one qreg; a creg is optional (required only by measure).
 // User gate definitions (`gate name(params) qubits { … }`) are supported
 // and expanded at application sites; the primitives `U(a,b,c)` and `CX`
-// map to u3 and cx.
+// map to u3 and cx. Programs with free symbolic parameters yield a typed
+// *UnboundSymbolError (see ParseParametric).
 func Parse(src string) (*circuit.Circuit, error) {
+	p, err := parseProgram(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(p.exprs) > 0 {
+		return nil, &UnboundSymbolError{Symbols: p.parametric().FreeSymbols()}
+	}
+	return p.c, nil
+}
+
+// ParseParametric converts OpenQASM 2.0 source into a parametric circuit
+// template: gates whose parameter expressions contain free symbols hold
+// placeholder slots to be filled by param.ParametricCircuit.Bind. Fully
+// numeric programs parse too, yielding a template with no free symbols.
+func ParseParametric(src string) (*param.ParametricCircuit, error) {
+	p, err := parseProgram(src)
+	if err != nil {
+		return nil, err
+	}
+	return p.parametric(), nil
+}
+
+func parseProgram(src string) (*parser, error) {
 	cleaned, defs, err := extractGateDefs(src)
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{macros: map[string]*macroDef{}}
+	p := &parser{macros: map[string]*macroDef{}, exprs: map[int]param.Expr{}}
 	for _, d := range defs {
 		if _, dup := p.macros[d.name]; dup {
 			return nil, &ParseError{Line: d.defLine, Msg: fmt.Sprintf("gate %q defined twice", d.name)}
@@ -58,7 +108,16 @@ func Parse(src string) (*circuit.Circuit, error) {
 	if p.c == nil {
 		return nil, &ParseError{Line: 0, Msg: "no qreg declared"}
 	}
-	return p.c, nil
+	return p, nil
+}
+
+// parametric wraps the parsed circuit and its expression table.
+func (p *parser) parametric() *param.ParametricCircuit {
+	pc := param.New(p.c)
+	for i, e := range p.exprs {
+		pc.Exprs[i] = e
+	}
+	return pc
 }
 
 func stripComment(s string) string {
@@ -74,7 +133,9 @@ type parser struct {
 	cregName string
 	cregSize int
 	macros   map[string]*macroDef
-	depth    int // macro expansion depth guard
+	depth    int                // macro expansion depth guard
+	exprs    map[int]param.Expr // gate index → symbolic parameter expression
+	declared map[string]int     // declared symbol → declaration line (nil: lenient mode)
 }
 
 func (p *parser) statement(s string, line int) error {
@@ -89,9 +150,49 @@ func (p *parser) statement(s string, line int) error {
 		return p.measure(s[len("measure"):], line)
 	case strings.HasPrefix(s, "barrier"):
 		return p.barrier(s[len("barrier"):], line)
+	case strings.HasPrefix(s, "parameter "):
+		return p.declareSymbol(s[len("parameter "):], line)
 	default:
 		return p.gateApp(s, line)
 	}
+}
+
+// declareSymbol handles the dialect statement `parameter theta;`.
+// Declarations are optional — any free identifier in an expression is
+// accepted as a symbol — but once one appears, later expressions may only
+// use declared names, and re-declaring a name is an error.
+func (p *parser) declareSymbol(rest string, line int) error {
+	name := strings.TrimSpace(rest)
+	if !symbolIdent(name) {
+		return &ParseError{Line: line, Msg: fmt.Sprintf("bad parameter name %q (want [a-z][a-z0-9_]*)", name)}
+	}
+	if p.declared == nil {
+		p.declared = map[string]int{}
+	}
+	if prev, dup := p.declared[name]; dup {
+		return &ParseError{Line: line, Msg: fmt.Sprintf("parameter %q declared twice (first on line %d)", name, prev)}
+	}
+	p.declared[name] = line
+	return nil
+}
+
+// symbolIdent reports whether s is a valid symbol name under the
+// expression tokenizer: a lowercase letter followed by lowercase
+// letters, digits or underscores.
+func symbolIdent(s string) bool {
+	if s == "" || s[0] < 'a' || s[0] > 'z' {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		if !identByte(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func identByte(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= '0' && b <= '9' || b == '_'
 }
 
 func (p *parser) declare(rest string, line int, quantum bool) error {
@@ -269,26 +370,36 @@ func (p *parser) gateApp(s string, line int) error {
 		return &ParseError{Line: line, Msg: fmt.Sprintf("%s expects %d operands, got %d", name, k.Arity(), len(operands))}
 	}
 	g := circuit.Gate{Kind: k, Qubits: operands, CBit: -1}
+	var sym param.Expr
+	symbolic := false
 	if k.Parameterized() {
 		if params == "" {
 			return &ParseError{Line: line, Msg: fmt.Sprintf("%s requires a parameter", name)}
 		}
 		// Multi-parameter gates (u2, u3) fold parameters by summation; the
 		// simulator only needs to know a rotation happened, not the angle.
-		total := 0.0
+		// Folding symbolic expressions sums the affine forms the same way.
+		total := param.Expr{}
 		for _, expr := range strings.Split(params, ",") {
-			v, err := evalExpr(expr)
+			e, err := evalSymbolic(expr, p.declared)
 			if err != nil {
 				return &ParseError{Line: line, Msg: err.Error()}
 			}
-			total += v
+			total = total.Add(e)
 		}
-		g.Param = total
+		if total.IsConst() {
+			g.Param = total.Const
+		} else {
+			sym, symbolic = total, true
+		}
 	} else if params != "" {
 		return &ParseError{Line: line, Msg: fmt.Sprintf("%s takes no parameters", name)}
 	}
 	if err := appendChecked(p.c, g); err != nil {
 		return &ParseError{Line: line, Msg: err.Error()}
+	}
+	if symbolic {
+		p.exprs[len(p.c.Gates)-1] = sym
 	}
 	return nil
 }
@@ -301,10 +412,10 @@ func (p *parser) applyMacro(m *macroDef, params, operandStr string, line int) er
 	if p.depth >= 40 {
 		return &ParseError{Line: line, Msg: fmt.Sprintf("gate %q expansion too deep", m.name)}
 	}
-	var vals []float64
+	var vals []param.Expr
 	if strings.TrimSpace(params) != "" {
 		for _, expr := range strings.Split(params, ",") {
-			v, err := evalExpr(expr)
+			v, err := evalSymbolic(expr, p.declared)
 			if err != nil {
 				return &ParseError{Line: line, Msg: err.Error()}
 			}
@@ -345,20 +456,38 @@ func appendChecked(c *circuit.Circuit, g circuit.Gate) (err error) {
 	return nil
 }
 
-// evalExpr evaluates a parameter expression: numbers, pi, unary minus, and
-// left-associative + - * / with standard precedence.
+// evalExpr evaluates a fully numeric parameter expression; symbolic
+// expressions are errors here (the parser proper goes through
+// evalSymbolic and carries free symbols as expression slots).
 func evalExpr(expr string) (float64, error) {
+	e, err := evalSymbolic(expr, nil)
+	if err != nil {
+		return 0, err
+	}
+	if !e.IsConst() {
+		return 0, fmt.Errorf("symbolic expression %q where a number is required", expr)
+	}
+	return e.Const, nil
+}
+
+// evalSymbolic evaluates a parameter expression to its affine form:
+// numbers, pi, free identifiers as symbols, unary minus, and
+// left-associative + - * / with standard precedence, restricted to
+// affine combinations (a symbol may be scaled by constants but never
+// multiplied by another symbol or divided into). declared, when non-nil,
+// whitelists the identifiers expressions may use.
+func evalSymbolic(expr string, declared map[string]int) (param.Expr, error) {
 	toks, err := tokenize(expr)
 	if err != nil {
-		return 0, err
+		return param.Expr{}, err
 	}
-	e := &exprParser{toks: toks}
+	e := &exprParser{toks: toks, declared: declared}
 	v, err := e.parseSum()
 	if err != nil {
-		return 0, err
+		return param.Expr{}, err
 	}
 	if e.pos != len(e.toks) {
-		return 0, fmt.Errorf("trailing tokens in expression %q", expr)
+		return param.Expr{}, fmt.Errorf("trailing tokens in expression %q", expr)
 	}
 	return v, nil
 }
@@ -384,7 +513,7 @@ func tokenize(expr string) ([]string, error) {
 			i = j
 		case ch >= 'a' && ch <= 'z':
 			j := i
-			for j < len(expr) && expr[j] >= 'a' && expr[j] <= 'z' {
+			for j < len(expr) && identByte(expr[j]) {
 				j++
 			}
 			toks = append(toks, expr[i:j])
@@ -397,8 +526,9 @@ func tokenize(expr string) ([]string, error) {
 }
 
 type exprParser struct {
-	toks []string
-	pos  int
+	toks     []string
+	pos      int
+	declared map[string]int
 }
 
 func (e *exprParser) peek() string {
@@ -408,10 +538,10 @@ func (e *exprParser) peek() string {
 	return ""
 }
 
-func (e *exprParser) parseSum() (float64, error) {
+func (e *exprParser) parseSum() (param.Expr, error) {
 	v, err := e.parseProduct()
 	if err != nil {
-		return 0, err
+		return param.Expr{}, err
 	}
 	for {
 		switch e.peek() {
@@ -419,26 +549,26 @@ func (e *exprParser) parseSum() (float64, error) {
 			e.pos++
 			r, err := e.parseProduct()
 			if err != nil {
-				return 0, err
+				return param.Expr{}, err
 			}
-			v += r
+			v = v.Add(r)
 		case "-":
 			e.pos++
 			r, err := e.parseProduct()
 			if err != nil {
-				return 0, err
+				return param.Expr{}, err
 			}
-			v -= r
+			v = v.Add(r.Neg())
 		default:
 			return v, nil
 		}
 	}
 }
 
-func (e *exprParser) parseProduct() (float64, error) {
+func (e *exprParser) parseProduct() (param.Expr, error) {
 	v, err := e.parseUnary()
 	if err != nil {
-		return 0, err
+		return param.Expr{}, err
 	}
 	for {
 		switch e.peek() {
@@ -446,60 +576,78 @@ func (e *exprParser) parseProduct() (float64, error) {
 			e.pos++
 			r, err := e.parseUnary()
 			if err != nil {
-				return 0, err
+				return param.Expr{}, err
 			}
-			v *= r
+			switch {
+			case r.IsConst():
+				v = v.Scale(r.Const)
+			case v.IsConst():
+				v = r.Scale(v.Const)
+			default:
+				return param.Expr{}, fmt.Errorf("nonlinear parameter expression: symbols may only be scaled by constants (c*θ + k)")
+			}
 		case "/":
 			e.pos++
 			r, err := e.parseUnary()
 			if err != nil {
-				return 0, err
+				return param.Expr{}, err
 			}
-			if r == 0 {
-				return 0, fmt.Errorf("division by zero")
+			if !r.IsConst() {
+				return param.Expr{}, fmt.Errorf("division by a symbolic expression is not supported (c*θ + k)")
 			}
-			v /= r
+			if r.Const == 0 {
+				return param.Expr{}, fmt.Errorf("division by zero")
+			}
+			v = v.Scale(1 / r.Const)
 		default:
 			return v, nil
 		}
 	}
 }
 
-func (e *exprParser) parseUnary() (float64, error) {
+func (e *exprParser) parseUnary() (param.Expr, error) {
 	if e.peek() == "-" {
 		e.pos++
 		v, err := e.parseUnary()
-		return -v, err
+		return v.Neg(), err
 	}
 	return e.parseAtom()
 }
 
-func (e *exprParser) parseAtom() (float64, error) {
+func (e *exprParser) parseAtom() (param.Expr, error) {
 	tok := e.peek()
 	switch {
 	case tok == "":
-		return 0, fmt.Errorf("unexpected end of expression")
+		return param.Expr{}, fmt.Errorf("unexpected end of expression")
 	case tok == "(":
 		e.pos++
 		v, err := e.parseSum()
 		if err != nil {
-			return 0, err
+			return param.Expr{}, err
 		}
 		if e.peek() != ")" {
-			return 0, fmt.Errorf("missing closing parenthesis")
+			return param.Expr{}, fmt.Errorf("missing closing parenthesis")
 		}
 		e.pos++
 		return v, nil
 	case tok == "pi":
 		e.pos++
-		return math.Pi, nil
+		return param.Const(math.Pi), nil
+	case symbolIdent(tok):
+		if e.declared != nil {
+			if _, ok := e.declared[tok]; !ok {
+				return param.Expr{}, fmt.Errorf("undeclared parameter %q (declare with 'parameter %s;')", tok, tok)
+			}
+		}
+		e.pos++
+		return param.Sym(param.Symbol(tok)), nil
 	default:
 		v, err := strconv.ParseFloat(tok, 64)
 		if err != nil {
-			return 0, fmt.Errorf("bad token %q in expression", tok)
+			return param.Expr{}, fmt.Errorf("bad token %q in expression", tok)
 		}
 		e.pos++
-		return v, nil
+		return param.Const(v), nil
 	}
 }
 

@@ -114,7 +114,8 @@ func TestParseErrors(t *testing.T) {
 		{"wrong register", "qreg q[2]; h r[0];", "unknown register"},
 		{"missing param", "qreg q[1]; rz q[0];", "parameter"},
 		{"extra param", "qreg q[1]; h(0.5) q[0];", "no parameters"},
-		{"bad expr", "qreg q[1]; rz(zap) q[0];", "bad token"},
+		{"bad expr", "qreg q[1]; rz(1+*) q[0];", "bad token"},
+		{"free symbol", "qreg q[1]; rz(zap) q[0];", "unbound symbolic parameters"},
 		{"div by zero", "qreg q[1]; rz(1/0) q[0];", "division by zero"},
 		{"unbalanced", "qreg q[1]; rz)1( q[0];", "unbalanced"},
 	}

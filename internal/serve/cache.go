@@ -62,6 +62,21 @@ func (c *lruCache) put(key string, val []byte) {
 	}
 }
 
+// delete drops one entry (a no-op when absent) — the invalidation hook
+// the drift plane's canary adoption uses to stop serving a mapping the
+// current calibration no longer supports.
+func (c *lruCache) delete(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return false
+	}
+	c.ll.Remove(el)
+	delete(c.m, key)
+	return true
+}
+
 func (c *lruCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()

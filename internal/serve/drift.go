@@ -28,11 +28,12 @@ type driftState struct {
 	store  *caldrift.Store
 	detect caldrift.DetectConfig
 	canary caldrift.CanaryConfig
-	window int
-	maxHot int
-	cool   time.Duration
-	clk    clock.Clock
-	events *jobs.Broker
+	window     int
+	maxHot     int
+	cool       time.Duration
+	adoptDelta float64
+	clk        clock.Clock
+	events     *jobs.Broker
 
 	mu      sync.Mutex
 	hot     map[string][]hotCircuit
@@ -45,6 +46,7 @@ type driftState struct {
 	triggers   int64
 	canaryRuns int64
 	suppressed int64
+	adoptions  int64
 }
 
 // hotCircuit is one LRU entry of a device's hot set: the logical
@@ -59,6 +61,7 @@ type hotCircuit struct {
 const (
 	DriftEventCycle     = "cycle"
 	DriftEventTriggered = "drift"
+	DriftEventAdopted   = "adopt"
 )
 
 func newDriftState(cfg Config) (*driftState, error) {
@@ -76,6 +79,7 @@ func newDriftState(cfg Config) (*driftState, error) {
 		window:     cfg.DriftWindow,
 		maxHot:     cfg.DriftHotCircuits,
 		cool:       cfg.DriftCanaryCooldown,
+		adoptDelta: cfg.DriftAdoptDelta,
 		clk:        clock.Or(cfg.Clock),
 		events:     jobs.NewBroker(),
 		hot:        make(map[string][]hotCircuit),
@@ -137,6 +141,21 @@ func (ds *driftState) touchHot(device, key string) {
 	}
 }
 
+// dropHot removes a hot circuit whose mapping was adopted away — the
+// next cache miss for the key re-registers the fresh mapping as the
+// new canary baseline.
+func (ds *driftState) dropHot(device, key string) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	set := ds.hot[device]
+	for i, h := range set {
+		if h.key == key {
+			ds.hot[device] = append(set[:i:i], set[i+1:]...)
+			return
+		}
+	}
+}
+
 // targets snapshots a device's hot set as canary targets, hottest
 // first.
 func (ds *driftState) targets(device string) []caldrift.CanaryTarget {
@@ -177,8 +196,8 @@ func (ds *driftState) canaryDue(device string) bool {
 
 // driftMetrics is the snapshot handleMetrics renders.
 type driftMetrics struct {
-	cycles, triggers, canaryRuns, suppressed, corrupt int64
-	scores                                            map[string]float64
+	cycles, triggers, canaryRuns, suppressed, adoptions, corrupt int64
+	scores                                                       map[string]float64
 }
 
 func (ds *driftState) metrics() driftMetrics {
@@ -189,6 +208,7 @@ func (ds *driftState) metrics() driftMetrics {
 		triggers:   ds.triggers,
 		canaryRuns: ds.canaryRuns,
 		suppressed: ds.suppressed,
+		adoptions:  ds.adoptions,
 		scores:     make(map[string]float64, len(ds.reports)),
 	}
 	for dev, rep := range ds.reports {
@@ -290,6 +310,7 @@ func (s *Server) runDrift(ctx context.Context, name string) *caldrift.Report {
 					s.drift.mu.Lock()
 					s.drift.canaryRuns++
 					s.drift.mu.Unlock()
+					s.adoptCanary(name, canary)
 				}
 			}
 		} else {
@@ -309,6 +330,36 @@ func (s *Server) runDrift(ctx context.Context, name string) *caldrift.Report {
 		s.drift.events.Publish(name, jobs.Event{Type: DriftEventTriggered, Message: msg})
 	}
 	return rep
+}
+
+// adoptCanary acts on a canary report: every target whose predicted
+// recompile gain meets the adoption delta has its cached response
+// invalidated (and its hot-set entry dropped), so the next request for
+// that circuit recompiles against current state instead of being
+// served the stale mapping forever. Returns how many were adopted.
+func (s *Server) adoptCanary(device string, rep *caldrift.CanaryReport) int {
+	if s.drift.adoptDelta < 0 || rep == nil {
+		return 0
+	}
+	adopted := 0
+	for _, d := range rep.Deltas {
+		if d.Err != "" || d.Delta < s.drift.adoptDelta {
+			continue
+		}
+		s.cache.delete(d.Name)
+		s.drift.dropHot(device, d.Name)
+		adopted++
+	}
+	if adopted > 0 {
+		s.drift.mu.Lock()
+		s.drift.adoptions += int64(adopted)
+		s.drift.mu.Unlock()
+		s.drift.events.Publish(device, jobs.Event{
+			Type:    DriftEventAdopted,
+			Message: fmt.Sprintf("adopted %d canary remapping(s): stale cached responses invalidated", adopted),
+		})
+	}
+	return adopted
 }
 
 // handleCalibrationWindow serves GET /v1/calibration/{device}?window=K:
@@ -412,6 +463,9 @@ func renderDriftMetrics(b *strings.Builder, m driftMetrics) {
 	b.WriteString("# HELP nisqd_drift_canary_suppressed_total Canary runs skipped by the cooldown.\n")
 	b.WriteString("# TYPE nisqd_drift_canary_suppressed_total counter\n")
 	fmt.Fprintf(b, "nisqd_drift_canary_suppressed_total %d\n", m.suppressed)
+	b.WriteString("# HELP nisqd_drift_adoptions_total Stale cached mappings invalidated on canary wins.\n")
+	b.WriteString("# TYPE nisqd_drift_adoptions_total counter\n")
+	fmt.Fprintf(b, "nisqd_drift_adoptions_total %d\n", m.adoptions)
 	b.WriteString("# HELP nisqd_drift_store_corrupt_total Cycle envelopes quarantined at startup.\n")
 	b.WriteString("# TYPE nisqd_drift_store_corrupt_total counter\n")
 	fmt.Fprintf(b, "nisqd_drift_store_corrupt_total %d\n", m.corrupt)

@@ -315,6 +315,9 @@ func TestDriftCanaryCooldown(t *testing.T) {
 	cfg := testConfig()
 	cfg.DriftCanaryCooldown = time.Hour
 	cfg.Clock = fake
+	// Adoption off: a canary win would otherwise drain the hot set and
+	// this test isolates the cooldown, not the adoption loop.
+	cfg.DriftAdoptDelta = -1
 	_, ts := newTestServerConfig(t, cfg)
 	registerQ5(t, ts.URL, "lab-q5")
 	warmHot(t, ts.URL, "lab-q5")
@@ -349,6 +352,100 @@ func TestDriftCanaryCooldown(t *testing.T) {
 	if !strings.Contains(string(body), "nisqd_drift_canary_suppressed_total 1") {
 		t.Error("suppressed canary not counted")
 	}
+}
+
+// TestDriftAutoAdopt pins the adoption loop on a fake clock: a canary
+// win past the adoption delta invalidates the stale cached response
+// (the next identical request is a cache miss that recompiles), while
+// a canary inside the cooldown adopts nothing.
+func TestDriftAutoAdopt(t *testing.T) {
+	fake := clock.NewFake(time.Unix(1700000000, 0))
+	cfg := testConfig()
+	cfg.DriftCanaryCooldown = time.Hour
+	cfg.Clock = fake
+	cfg.DriftAdoptDelta = 1e-12 // adopt on any predicted gain
+	_, ts := newTestServerConfig(t, cfg)
+	registerQ5(t, ts.URL, "lab-q5")
+
+	compileReq := `{"workload":"triswap","policy":"vqm","device":"lab-q5","trials":2000}`
+	cacheState := func() string {
+		t.Helper()
+		resp, body := post(t, ts.URL+"/v1/compile", compileReq)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("compile: status %d: %s", resp.StatusCode, body)
+		}
+		return resp.Header.Get("X-Nisqd-Cache")
+	}
+	if got := cacheState(); got != "miss" {
+		t.Fatalf("cold compile: cache %q", got)
+	}
+	if got := cacheState(); got != "hit" {
+		t.Fatalf("warm compile: cache %q", got)
+	}
+
+	appendOnce := func(seed int64) *caldrift.Report {
+		t.Helper()
+		resp, body := post(t, ts.URL+"/v1/calibration?name=lab-q5&append=true",
+			q5ArchiveJSON(t, seed, 3, degradeLater(4)))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("append: status %d: %s", resp.StatusCode, body)
+		}
+		var ar appendResponse
+		if err := json.Unmarshal(body, &ar); err != nil {
+			t.Fatal(err)
+		}
+		return ar.Drift
+	}
+
+	rep := appendOnce(7)
+	if rep == nil || rep.Canary == nil || len(rep.Canary.Deltas) == 0 {
+		t.Fatalf("no canary ran: %+v", rep)
+	}
+	if d := rep.Canary.Deltas[0]; d.Err != "" || d.Delta <= 0 {
+		t.Fatalf("canary predicted no gain, nothing to adopt: %+v", d)
+	}
+	// The win was adopted: the cached response is gone, so the same
+	// request recompiles.
+	if got := cacheState(); got != "miss" {
+		t.Fatalf("post-adoption compile: cache %q, want miss (stale entry should be invalidated)", got)
+	}
+	if got := cacheState(); got != "hit" {
+		t.Fatalf("re-warmed compile: cache %q", got)
+	}
+
+	// Inside the cooldown no canary runs, so nothing more is adopted and
+	// the fresh entry survives.
+	if rep := appendOnce(8); rep == nil || rep.Canary != nil {
+		t.Fatalf("canary ran inside cooldown: %+v", rep)
+	}
+	if got := cacheState(); got != "hit" {
+		t.Fatalf("compile after suppressed canary: cache %q, want hit", got)
+	}
+
+	// Past the cooldown the canary runs and adopts again.
+	fake.Advance(2 * time.Hour)
+	if rep := appendOnce(9); rep == nil || rep.Canary == nil {
+		t.Fatalf("post-cooldown canary missing: %+v", rep)
+	}
+	if got := cacheState(); got != "miss" {
+		t.Fatalf("post-cooldown adoption: cache %q, want miss", got)
+	}
+
+	_, body := get(t, ts.URL+"/metrics")
+	if !strings.Contains(string(body), "nisqd_drift_adoptions_total 2") {
+		t.Errorf("adoptions not counted:\n%s", grepLines(string(body), "nisqd_drift"))
+	}
+}
+
+// grepLines filters lines containing substr, for test failure output.
+func grepLines(s, substr string) string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
 }
 
 // TestDriftStorePersistence: cycles appended through the API survive a

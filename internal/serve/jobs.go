@@ -22,7 +22,8 @@ import (
 // validated eagerly at submission — a malformed job is a 400 at submit
 // time, never an asynchronous failure discovered by polling.
 type JobRequest struct {
-	// Kind selects the pipeline: compile, estimate, batch or portfolio.
+	// Kind selects the pipeline: compile, estimate, batch, portfolio or
+	// sweep.
 	Kind string `json:"kind"`
 	// Tenant attributes the job for quota accounting (default
 	// "anonymous"; the X-Nisqd-Tenant header is used when empty).
@@ -68,6 +69,8 @@ func DecodeJobRequest(data []byte, maxTrials int) (*JobRequest, error) {
 		_, err = DecodeBatchRequest(req.Request, maxTrials)
 	case jobs.KindPortfolio:
 		_, err = DecodePortfolioRequest(req.Request, maxTrials)
+	case jobs.KindSweep:
+		_, err = DecodeSweepRequest(req.Request)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("%s request: %w", req.Kind, err)
@@ -123,6 +126,21 @@ func (s *Server) executeJob(ctx context.Context, w jobs.Work, progress func(stri
 			return nil, jobs.Permanent(err)
 		}
 		body, hit, err := s.portfolioCached(ctx, req)
+		if err != nil {
+			return nil, classifyJobErr(ctx, err)
+		}
+		if hit {
+			progress("served from response cache")
+		}
+		return body, nil
+
+	case jobs.KindSweep:
+		req, err := DecodeSweepRequest(w.Request)
+		if err != nil {
+			return nil, jobs.Permanent(err)
+		}
+		progress(fmt.Sprintf("sweeping %d points", len(req.Points)))
+		body, hit, err := s.sweepCached(ctx, req)
 		if err != nil {
 			return nil, classifyJobErr(ctx, err)
 		}

@@ -92,6 +92,8 @@ func TestJobResultMatchesSyncEndpoint(t *testing.T) {
 			`{"items":[{"workload":"ghz-3","policy":"vqm","trials":2000,"monte_carlo":true},{"workload":"bv-4","policy":"native"}]}`},
 		{"portfolio", "/v1/portfolio",
 			`{"workload":"bv-8","device":"q20","trials":4000,"cycles":1,"random_starts":1,"top_k":2}`},
+		{"sweep", "/v1/sweep",
+			`{"ansatz":"qaoa-3","policy":"vqm","points":[[0.1,0.2],[0.3,0.4],[0.5,0.6]]}`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.kind, func(t *testing.T) {

@@ -38,6 +38,10 @@ type metricsState struct {
 	// trials-per-second rate of each kernel.
 	mcTrials  map[string]int64
 	mcSeconds map[string]float64
+	// Parameter-sweep throughput: points served and the compilations
+	// the rebind engine avoided (every point after a sweep's first).
+	sweepPoints int64
+	sweepSaved  int64
 }
 
 func newMetricsState() *metricsState {
@@ -85,6 +89,16 @@ func (m *metricsState) cache(hit bool) {
 		m.hits++
 	} else {
 		m.misses++
+	}
+	m.mu.Unlock()
+}
+
+// sweep records one served parameter sweep of n points.
+func (m *metricsState) sweep(n int) {
+	m.mu.Lock()
+	m.sweepPoints += int64(n)
+	if n > 1 {
+		m.sweepSaved += int64(n - 1)
 	}
 	m.mu.Unlock()
 }
@@ -151,6 +165,12 @@ func (m *metricsState) render() string {
 	for _, k := range sortedKeys(m.mcTrials) {
 		fmt.Fprintf(&b, "nisqd_mc_seconds_total{kernel=%q} %g\n", k, m.mcSeconds[k])
 	}
+	b.WriteString("# HELP nisqd_sweep_points_total Parameter-sweep points served.\n")
+	b.WriteString("# TYPE nisqd_sweep_points_total counter\n")
+	fmt.Fprintf(&b, "nisqd_sweep_points_total %d\n", m.sweepPoints)
+	b.WriteString("# HELP nisqd_sweep_compiles_saved_total Compilations avoided by compile-once/rebind-many sweeps.\n")
+	b.WriteString("# TYPE nisqd_sweep_compiles_saved_total counter\n")
+	fmt.Fprintf(&b, "nisqd_sweep_compiles_saved_total %d\n", m.sweepSaved)
 	b.WriteString("# HELP nisqd_in_flight Requests currently being served.\n")
 	b.WriteString("# TYPE nisqd_in_flight gauge\n")
 	fmt.Fprintf(&b, "nisqd_in_flight %d\n", m.inFlight.Load())

@@ -83,6 +83,12 @@ type Config struct {
 	// DriftCanaryCooldown is the minimum spacing between canary runs
 	// per device, measured on Clock (0 disables the cooldown).
 	DriftCanaryCooldown time.Duration
+	// DriftAdoptDelta is the canary-predicted analytic-PST gain past
+	// which the server adopts the recompile: the stale cached response
+	// is invalidated so the next request recompiles against current
+	// state (0: default 0.01; negative: adoption off, canaries only
+	// report).
+	DriftAdoptDelta float64
 	// Clock is the time source behind the drift plane's canary
 	// cooldown (default clock.Real). Drift reports themselves never
 	// read it — they are pure functions of the calibration data.
@@ -119,6 +125,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DriftHotCircuits <= 0 {
 		c.DriftHotCircuits = 8
+	}
+	if c.DriftAdoptDelta == 0 {
+		c.DriftAdoptDelta = 0.01
 	}
 	return c
 }
@@ -195,6 +204,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("POST /v1/estimate", s.limited("/v1/estimate", s.handleEstimate))
 	mux.HandleFunc("POST /v1/batch", s.limited("/v1/batch", s.handleBatch))
 	mux.HandleFunc("POST /v1/portfolio", s.limited("/v1/portfolio", s.handlePortfolio))
+	mux.HandleFunc("POST /v1/sweep", s.limited("/v1/sweep", s.handleSweep))
 	mux.HandleFunc("POST /v1/calibration", s.limited("/v1/calibration", s.handleCalibration))
 	mux.HandleFunc("GET /v1/calibration/{device}", s.instrumented("/v1/calibration/{device}", s.handleCalibrationWindow))
 	mux.HandleFunc("GET /v1/drift/{device}", s.instrumented("/v1/drift/{device}", s.handleDriftReport))
@@ -808,7 +818,7 @@ func zooFamilies() []deviceFamily {
 			MinQubits:   f.MinQubits,
 			MaxQubits:   f.MaxQubits,
 			Tiers:       tiers,
-			Naming:      f.Name + "-<qubits>[-<tier>]",
+			Naming:      f.Name + "-<qubits>[-holes<k>][-<tier>]",
 		})
 	}
 	return out

@@ -1,0 +1,305 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"net/http"
+
+	"vaq/internal/ansatz"
+	"vaq/internal/core"
+	"vaq/internal/parallel"
+	"vaq/internal/param"
+	"vaq/internal/qasm"
+	"vaq/internal/route"
+)
+
+// Sweep request limits. Points are cheap — a rebind is a clone-and-fill,
+// not a compile — so the point cap is far above the portfolio grid cap,
+// but still bounds a single request's allocation.
+const (
+	// MaxSweepPoints bounds the parameter sets of one sweep.
+	MaxSweepPoints = 4096
+)
+
+// SweepRequest is the body of POST /v1/sweep: one parametric template
+// (a named ansatz or inline symbolic OpenQASM) swept over a list of
+// parameter sets. The template compiles once — allocation, routing and
+// the success estimate are angle-independent — and each point is a
+// rebind of the winning mapping.
+type SweepRequest struct {
+	// Ansatz names a built-in parametric generator (see ansatz.Names):
+	// "su2-<n>[-r<reps>]" or "qaoa-<n>[-p<layers>]".
+	Ansatz string `json:"ansatz,omitempty"`
+	// QASM is an inline OpenQASM 2.0 program with symbolic parameters
+	// (see qasm.ParseParametric).
+	QASM string `json:"qasm,omitempty"`
+	// Policy is a compilation policy name (default vqa+vqm).
+	Policy string `json:"policy,omitempty"`
+	// Device names a registered device model (default q20).
+	Device string `json:"device,omitempty"`
+	// Seed drives Native's randomized mapping (default 2019).
+	Seed *int64 `json:"seed,omitempty"`
+	// Movement overrides the policy's routing pass (route.MovementNames).
+	Movement string `json:"movement,omitempty"`
+	// Points are the parameter sets, positional over the template's free
+	// symbols in appearance order (the response's Symbols field).
+	Points [][]float64 `json:"points"`
+}
+
+// DecodeSweepRequest parses and validates one /v1/sweep body. Symbol
+// arity is checked later, against the resolved template; everything
+// checkable without compiling is rejected here.
+func DecodeSweepRequest(data []byte) (*SweepRequest, error) {
+	var req SweepRequest
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, badReqf("decode: %v", err)
+	}
+	if dec.More() {
+		return nil, badReqf("trailing data after request object")
+	}
+	req.normalize()
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+func (r *SweepRequest) normalize() {
+	if r.Policy == "" {
+		r.Policy = DefaultPolicy
+	}
+	if r.Device == "" {
+		r.Device = DefaultDevice
+	}
+	if r.Seed == nil {
+		seed := int64(DefaultSeed)
+		r.Seed = &seed
+	}
+}
+
+func (r *SweepRequest) validate() error {
+	switch {
+	case r.Ansatz != "" && r.QASM != "":
+		return badReqf("specify either ansatz or qasm, not both")
+	case r.Ansatz == "" && r.QASM == "":
+		return badReqf("specify ansatz or qasm")
+	}
+	if len(r.QASM) > MaxQASMBytes {
+		return badReqf("qasm program is %d bytes (max %d)", len(r.QASM), MaxQASMBytes)
+	}
+	if _, ok := core.PolicyByName(r.Policy); !ok {
+		return badReqf("unknown policy %q", r.Policy)
+	}
+	if r.Movement != "" {
+		if _, err := route.ByName(r.Movement, 0); err != nil {
+			return badReqf("%v", err)
+		}
+	}
+	if len(r.Points) == 0 {
+		return badReqf("sweep has no points")
+	}
+	if len(r.Points) > MaxSweepPoints {
+		return badReqf("sweep has %d points (max %d)", len(r.Points), MaxSweepPoints)
+	}
+	return nil
+}
+
+// Template resolves the request's parametric circuit.
+func (r *SweepRequest) Template() (*param.ParametricCircuit, error) {
+	if r.Ansatz != "" {
+		pc, err := ansatz.ByName(r.Ansatz)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		return pc, nil
+	}
+	pc, err := qasm.ParseParametric(r.QASM)
+	if err != nil {
+		return nil, fmt.Errorf("%w: qasm: %v", ErrBadRequest, err)
+	}
+	return pc, nil
+}
+
+// SweepPoint is one swept parameter set: its values and the FNV-64a
+// fingerprint of the rebound physical circuit's serialized form —
+// enough for a client to dedupe, archive or fetch bindings without the
+// response carrying thousands of full circuits.
+type SweepPoint struct {
+	Index       int       `json:"index"`
+	Values      []float64 `json:"values"`
+	Fingerprint string    `json:"fingerprint"`
+}
+
+// SweepResult is the body of a /v1/sweep response. AnalyticPST is one
+// number for the whole sweep: the success estimate never reads angles,
+// so every binding of the compiled mapping shares it.
+type SweepResult struct {
+	Device    DeviceInfo     `json:"device"`
+	Template  string         `json:"template"`
+	Policy    string         `json:"policy"`
+	NumParams int            `json:"num_params"`
+	Symbols   []param.Symbol `json:"symbols"`
+	// Physical summarizes the compiled mapping (constant across points).
+	Physical PhysicalInfo `json:"physical"`
+	// AnalyticPST is the mapping's success estimate, shared by every
+	// point of the sweep.
+	AnalyticPST float64 `json:"analytic_pst"`
+	// CompilesSaved counts the compilations the parametric plane
+	// avoided: every point after the first reuses the mapping.
+	CompilesSaved int          `json:"compiles_saved"`
+	Points        []SweepPoint `json:"points"`
+}
+
+// sweepCacheKey is the response-cache identity of a sweep: device
+// fingerprint, template hash, the spec fields that change the mapping,
+// and a digest of every point. Workers is deliberately absent — the
+// fan-out writes by index, so the body is bit-identical at any count.
+func sweepCacheKey(deviceFP uint64, req *SweepRequest) string {
+	h := fnv.New64a()
+	h.Write([]byte(req.Ansatz))
+	h.Write([]byte{0})
+	h.Write([]byte(req.QASM))
+	var buf [8]byte
+	for _, pt := range req.Points {
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(pt)))
+		h.Write(buf[:])
+		for _, v := range pt {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+			h.Write(buf[:])
+		}
+	}
+	return fmt.Sprintf("/v1/sweep|%016x|%016x|%s|%d|%s",
+		deviceFP, h.Sum64(), req.Policy, *req.Seed, req.Movement)
+}
+
+// sweepCached runs one decoded sweep against the response cache; it is
+// the shared execution path of POST /v1/sweep and sweep jobs. The bool
+// reports whether the result was served from cache.
+func (s *Server) sweepCached(ctx context.Context, req *SweepRequest) ([]byte, bool, error) {
+	pc, err := req.Template()
+	if err != nil {
+		return nil, false, err
+	}
+	d, err := s.lookupDevice(req.Device)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := checkFits(d, pc.Circ); err != nil {
+		return nil, false, err
+	}
+	key := sweepCacheKey(d.Fingerprint(), req)
+	if body, ok := s.cache.get(key); ok {
+		s.met.cache(true)
+		s.met.sweep(len(req.Points))
+		return body, true, nil
+	}
+	s.met.cache(false)
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+
+	policy, _ := core.PolicyByName(req.Policy)
+	bound, err := core.CompileParametric(d, pc, core.Options{
+		Policy:   policy,
+		Seed:     *req.Seed,
+		Movement: req.Movement,
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	for i, pt := range req.Points {
+		if len(pt) != bound.NumParams() {
+			return nil, false, badReqf("point %d has %d values, template has %d free symbols",
+				i, len(pt), bound.NumParams())
+		}
+	}
+
+	// The fan-out: every point is an independent rebind writing its own
+	// slot, so the point list is bit-identical at any worker count.
+	points := make([]SweepPoint, len(req.Points))
+	err = parallel.Collect(ctx, s.cfg.Workers, len(req.Points), func(i int) error {
+		phys, err := bound.RebindValues(req.Points[i])
+		if err != nil {
+			return err
+		}
+		h := fnv.New64a()
+		h.Write([]byte(qasm.Serialize(phys)))
+		points[i] = SweepPoint{
+			Index:       i,
+			Values:      req.Points[i],
+			Fingerprint: fmt.Sprintf("%016x", h.Sum64()),
+		}
+		return nil
+	})
+	if err != nil {
+		// A sweep is all-or-nothing (unlike a batch, whose items are
+		// independent requests): surface the first point failure.
+		first := unwrapJoined(err)[0]
+		var pe *parallel.Error
+		if errors.As(first, &pe) {
+			return nil, false, fmt.Errorf("point %d: %w", pe.Index, pe.Err)
+		}
+		return nil, false, first
+	}
+
+	stats := bound.Compiled.Routed.Physical.Stats()
+	res := SweepResult{
+		Device:    Describe(d),
+		Template:  templateLabel(req),
+		Policy:    req.Policy,
+		NumParams: bound.NumParams(),
+		Symbols:   bound.Symbols(),
+		Physical: PhysicalInfo{
+			Instructions: stats.Total,
+			CNOTs:        stats.CNOTs,
+			Depth:        stats.Depth,
+		},
+		AnalyticPST:   bound.ESP,
+		CompilesSaved: len(req.Points) - 1,
+		Points:        points,
+	}
+	res.Device.Name = req.Device
+	s.met.sweep(len(req.Points))
+	body, err := json.MarshalIndent(res, "", " ")
+	if err != nil {
+		return nil, false, err
+	}
+	body = append(body, '\n')
+	s.cache.put(key, body)
+	return body, false, nil
+}
+
+// templateLabel names the swept template in responses: the ansatz name
+// or "qasm" for inline programs.
+func templateLabel(req *SweepRequest) string {
+	if req.Ansatz != "" {
+		return req.Ansatz
+	}
+	return "qasm"
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	data, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	req, err := DecodeSweepRequest(data)
+	if err != nil {
+		writeError(w, errorStatus(err), err.Error())
+		return
+	}
+	body, hit, err := s.sweepCached(r.Context(), req)
+	if err != nil {
+		writeError(w, errorStatus(err), err.Error())
+		return
+	}
+	writeCachedResult(w, body, hit)
+}

@@ -7,8 +7,10 @@
 // Naming scheme: every zoo topology is "<family>-<n>" with n the exact
 // qubit count — heavy-hex-399, grid-100, ring-64, full-20. ByName
 // parses that form; Families enumerates the generators with their size
-// bounds. The calibration layer (package calib) extends the scheme with
-// a variance-tier suffix: heavy-hex-399-mid names a calibrated fleet
+// bounds. An optional "-holes<k>" suffix (grid-100-holes5) knocks out k
+// couplers deterministically, modeling fabrication defects (WithHoles).
+// The calibration layer (package calib) extends the scheme with a
+// variance-tier suffix: heavy-hex-399-mid names a calibrated fleet
 // over the heavy-hex-399 lattice.
 package topo
 
@@ -17,6 +19,8 @@ import (
 	"math"
 	"strconv"
 	"strings"
+
+	"vaq/internal/graphx"
 )
 
 // Family is one parametric generator of the device zoo.
@@ -64,9 +68,18 @@ func Families() []Family {
 }
 
 // ByName resolves a zoo topology name of the form "<family>-<n>", e.g.
-// "heavy-hex-399". Unknown families and out-of-range sizes are errors
+// "heavy-hex-399", or its defect variant "<family>-<n>-holes<k>", e.g.
+// "heavy-hex-399-holes8" (the base lattice with k couplers knocked out
+// by WithHoles). Unknown families and out-of-range sizes are errors
 // that list the valid families and bounds.
 func ByName(name string) (*Topology, error) {
+	if base, k, ok := splitHoles(name); ok {
+		t, err := ByName(base)
+		if err != nil {
+			return nil, err
+		}
+		return WithHoles(t, k)
+	}
 	for _, f := range Families() {
 		prefix := f.Name + "-"
 		if !strings.HasPrefix(name, prefix) {
@@ -87,6 +100,102 @@ func ByName(name string) (*Topology, error) {
 	}
 	return nil, fmt.Errorf("topo: unknown zoo topology %q (families: %s; form <family>-<qubits>)",
 		name, strings.Join(names, ", "))
+}
+
+// splitHoles parses the "-holes<k>" defect suffix: "grid-25-holes3" →
+// ("grid-25", 3, true). k must be a positive integer; anything else is
+// left for the family parser to reject.
+func splitHoles(name string) (base string, k int, ok bool) {
+	i := strings.LastIndex(name, "-holes")
+	if i < 0 {
+		return "", 0, false
+	}
+	k, err := strconv.Atoi(name[i+len("-holes"):])
+	if err != nil || k < 1 {
+		return "", 0, false
+	}
+	return name[:i], k, true
+}
+
+// WithHoles returns t with k couplers removed — the defect model for
+// fabrication dropouts and disabled two-qubit gates that real lattices
+// accumulate. Removal is deterministic (the candidate order is a
+// SplitMix64 shuffle seeded from the base topology's name, so a given
+// name always loses the same couplers) and connectivity-preserving: a
+// coupler whose removal would disconnect the machine is skipped. Asking
+// for more holes than the lattice can spare — a tree has zero removable
+// edges — is an error rather than a silently shallower knockout. The
+// result is named "<base>-holes<k>".
+func WithHoles(t *Topology, k int) (*Topology, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("topo: holes count must be ≥ 1, got %d", k)
+	}
+	// Fisher–Yates over the coupling indices, driven by the SplitMix64
+	// finalizer seeded from the lattice name.
+	order := make([]int, len(t.Couplings))
+	for i := range order {
+		order[i] = i
+	}
+	seed := fnv64(t.Name)
+	next := func() uint64 {
+		seed += 0x9E3779B97F4A7C15
+		z := seed
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		return z ^ (z >> 31)
+	}
+	for i := len(order) - 1; i > 0; i-- {
+		j := int(next() % uint64(i+1))
+		order[i], order[j] = order[j], order[i]
+	}
+
+	removed := make([]bool, len(t.Couplings))
+	connected := func() bool {
+		g := graphx.New(t.NumQubits)
+		for i, c := range t.Couplings {
+			if !removed[i] {
+				g.AddEdge(c.A, c.B, 1)
+			}
+		}
+		return g.Connected(nil)
+	}
+	holes := 0
+	for _, i := range order {
+		if holes == k {
+			break
+		}
+		removed[i] = true
+		if connected() {
+			holes++
+		} else {
+			removed[i] = false
+		}
+	}
+	if holes < k {
+		return nil, fmt.Errorf("topo: %s has only %d removable couplers, cannot knock out %d", t.Name, holes, k)
+	}
+	keep := make([]Coupling, 0, len(t.Couplings)-k)
+	for i, c := range t.Couplings {
+		if !removed[i] {
+			keep = append(keep, c)
+		}
+	}
+	return New(fmt.Sprintf("%s-holes%d", t.Name, k), t.NumQubits, keep)
+}
+
+// fnv64 is the FNV-1a fold of a lattice name into the hole-shuffle
+// seed (the same fold package calib uses for name→seed derivation).
+func fnv64(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
 }
 
 // HeavyHex returns an IBM-style heavy-hexagon lattice with exactly n

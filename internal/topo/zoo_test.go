@@ -128,3 +128,68 @@ func TestZooDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestWithHoles: the defect variant removes exactly k couplers, stays
+// connected, is deterministic, and refuses impossible knockouts.
+func TestWithHoles(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		holes int
+	}{
+		{"ring-16", 1},
+		{"grid-25", 5},
+		{"full-8", 10},
+		{"heavy-hex-399", 8},
+	} {
+		full, err := ByName(tc.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		holed, err := ByName(fmt.Sprintf("%s-holes%d", tc.name, tc.holes))
+		if err != nil {
+			t.Fatalf("%s-holes%d: %v", tc.name, tc.holes, err)
+		}
+		if want := fmt.Sprintf("%s-holes%d", tc.name, tc.holes); holed.Name != want {
+			t.Errorf("name %q, want %q", holed.Name, want)
+		}
+		if got, want := len(holed.Couplings), len(full.Couplings)-tc.holes; got != want {
+			t.Errorf("%s: %d couplings after %d holes, want %d", holed.Name, got, tc.holes, want)
+		}
+		if holed.NumQubits != full.NumQubits {
+			t.Errorf("%s: qubit count changed: %d vs %d", holed.Name, holed.NumQubits, full.NumQubits)
+		}
+		if !holed.Connected() {
+			t.Errorf("%s: knockout disconnected the machine", holed.Name)
+		}
+		// Every surviving coupling existed in the base lattice.
+		for _, c := range holed.Couplings {
+			if !full.Adjacent(c.A, c.B) {
+				t.Errorf("%s: coupling %v not in base lattice", holed.Name, c)
+			}
+		}
+		again, err := ByName(holed.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range holed.Couplings {
+			if holed.Couplings[i] != again.Couplings[i] {
+				t.Fatalf("%s: knockout is not deterministic at coupling %d", holed.Name, i)
+			}
+		}
+	}
+
+	// A ring is one hole away from a tree: the second knockout must
+	// fail rather than silently under-deliver.
+	if _, err := WithHoles(Ring(8), 2); err == nil {
+		t.Error("ring-8 with 2 holes should be impossible (tree after 1)")
+	}
+	if _, err := ByName("ring-8-holes3"); err == nil {
+		t.Error("ByName ring-8-holes3 should fail: only 1 removable edge")
+	}
+	if _, err := ByName("grid-25-holes0"); err == nil {
+		t.Error("holes0 should not parse as a defect variant")
+	}
+	if _, err := WithHoles(Ring(8), 0); err == nil {
+		t.Error("WithHoles k=0 should be rejected")
+	}
+}

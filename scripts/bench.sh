@@ -83,7 +83,7 @@ fi
 cd "$(dirname "$0")/.."
 
 COUNT="${1:-1}"
-PATTERN='MonteCarlo|CompilePipeline|Route|NewCosts|SearchSwaps|ServeCompile|Portfolio|JobThroughput|DriftDetect|CanaryRecompile'
+PATTERN='MonteCarlo|CompilePipeline|Route|NewCosts|SearchSwaps|ServeCompile|Portfolio|JobThroughput|DriftDetect|CanaryRecompile|RebindVsRecompile|SweepServe'
 OUT="${BENCH_OUT:-BENCH_$(date +%Y%m%d).json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT

@@ -19,7 +19,7 @@ go test -race -count=1 -run 'TestSabreHeavyHex399|TestSabreConcurrentDeterminism
 # BenchmarkMonteCarloScalar the reference path) — so a change that breaks
 # a benchmark body (rather than its performance) fails the gate instead
 # of surfacing at the next scripts/bench.sh run.
-go test -run '^$' -bench 'MonteCarlo|CompilePipeline|Route|NewCosts|SearchSwaps|ServeCompile|Portfolio|JobThroughput|DriftDetect|CanaryRecompile' -benchtime=1x ./...
+go test -run '^$' -bench 'MonteCarlo|CompilePipeline|Route|NewCosts|SearchSwaps|ServeCompile|Portfolio|JobThroughput|DriftDetect|CanaryRecompile|RebindVsRecompile|SweepServe' -benchtime=1x ./...
 # Perf-regression gate: rebench against the newest committed snapshot and
 # fail on big ns/op regressions. Only the stable keys are compared — the
 # compute-bound kernels and routing cores whose timings are reproducible
@@ -31,7 +31,7 @@ if [ -n "$BASELINE" ]; then
 	FRESH="$(mktemp -t bench_fresh_XXXXXX.json)"
 	BENCH_OUT="$FRESH" BENCHTIME=100ms scripts/bench.sh > /dev/null
 	BENCH_TOLERANCE=1.5 \
-	BENCH_MATCH='MonteCarlo$|NewCosts|SearchSwaps|RouteCached|RouteScale/(bv|qft16)/sabre' \
+	BENCH_MATCH='MonteCarlo$|NewCosts|SearchSwaps|RouteCached|RouteScale/(bv|qft16)/sabre|RebindVsRecompile/rebind' \
 	scripts/bench.sh -compare "$BASELINE" "$FRESH" || { rm -f "$FRESH"; exit 1; }
 	rm -f "$FRESH"
 else
@@ -56,6 +56,10 @@ scripts/smoke_jobs.sh
 # cycles over real HTTP, and prove the detector triggers and the canary
 # recompiler reports a predicted-PST delta (see scripts/smoke_drift.sh).
 scripts/smoke_drift.sh
+# Sweep-plane smoke: the same 100-point parameter sweep against a
+# 1-worker and a GOMAXPROCS-worker daemon must come back byte-identical
+# (see scripts/smoke_sweep.sh).
+scripts/smoke_sweep.sh
 # Coverage floor: total statement coverage must not regress below the
 # recorded baseline (88.6% at the floor's introduction, gated with a
 # small margin). Raise the floor when coverage improves; never lower it.
